@@ -1,0 +1,357 @@
+// Package socrm's root benchmarks regenerate every table and figure of the
+// paper (run with `go test -bench=. -benchmem`). Headline quantities are
+// attached to each benchmark via ReportMetric, so `go test -bench` output
+// doubles as the reproduction summary:
+//
+//	BenchmarkFig2FrameTimeRLS      reports mape_pct        (paper: <5)
+//	BenchmarkTable2OfflineIL       reports kmeans_x, parsec4t_x
+//	BenchmarkFig3Convergence       reports converge_pct_of_seq
+//	BenchmarkFig4EnergyComparison  reports worst_il_x, worst_rl_x
+//	BenchmarkFig5ENMPC             reports avg_gpu_save_pct, pkg_save_pct
+//
+// The experiment benchmarks run at a reduced per-app snippet count so the
+// full suite stays in benchmark-friendly time; cmd/socrepro runs the
+// paper-scale versions.
+package socrm
+
+import (
+	"sync"
+	"testing"
+
+	"socrm/internal/control"
+	"socrm/internal/experiments"
+	"socrm/internal/gpu"
+	"socrm/internal/il"
+	"socrm/internal/mlp"
+	"socrm/internal/nmpc"
+	"socrm/internal/noc"
+	"socrm/internal/oracle"
+	"socrm/internal/rls"
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *experiments.Study
+)
+
+func study(b *testing.B) *experiments.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		s, err := experiments.NewStudy(experiments.Options{Seed: 42, MaxSnippets: 60})
+		if err != nil {
+			panic(err)
+		}
+		benchStudy = s
+	})
+	return benchStudy
+}
+
+// BenchmarkFig2FrameTimeRLS regenerates Figure 2: online frame-time
+// prediction on the Nenamark2-like trace under runtime DVFS.
+func BenchmarkFig2FrameTimeRLS(b *testing.B) {
+	var mape float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2(42)
+		mape = res.MAPE
+	}
+	b.ReportMetric(100*mape, "mape_pct")
+}
+
+// BenchmarkTable2OfflineIL regenerates Table II: the Mi-Bench-trained
+// offline policy evaluated across suites, normalized to the Oracle.
+func BenchmarkTable2OfflineIL(b *testing.B) {
+	s := study(b)
+	var kmeans, parsec4t float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range s.Table2() {
+			switch r.App {
+			case "Kmns":
+				kmeans = r.NormEnergy
+			case "Blkschls4T":
+				parsec4t = r.NormEnergy
+			}
+		}
+	}
+	b.ReportMetric(kmeans, "kmeans_x")
+	b.ReportMetric(parsec4t, "parsec4t_x")
+}
+
+// BenchmarkFig3Convergence regenerates Figure 3: online-IL vs RL
+// Oracle-agreement convergence on the unseen application sequence.
+func BenchmarkFig3Convergence(b *testing.B) {
+	s := study(b)
+	var frac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.Fig3()
+		if res.ILConvergeTime > 0 {
+			frac = 100 * res.ILConvergeTime / res.TotalTime
+		}
+	}
+	b.ReportMetric(frac, "converge_pct_of_seq")
+}
+
+// BenchmarkFig4EnergyComparison regenerates Figure 4: per-benchmark energy
+// of online-IL and RL normalized to the Oracle.
+func BenchmarkFig4EnergyComparison(b *testing.B) {
+	s := study(b)
+	var worstIL, worstRL float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		worstIL, worstRL = 0, 0
+		for _, r := range s.Fig4() {
+			if r.IL > worstIL {
+				worstIL = r.IL
+			}
+			if r.RL > worstRL {
+				worstRL = r.RL
+			}
+		}
+	}
+	b.ReportMetric(worstIL, "worst_il_x")
+	b.ReportMetric(worstRL, "worst_rl_x")
+}
+
+// BenchmarkFig5ENMPC regenerates Figure 5: explicit NMPC energy savings
+// over the baseline GPU governor across the ten titles.
+func BenchmarkFig5ENMPC(b *testing.B) {
+	var avg, pkg float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(experiments.DefaultFig5Options())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = res.Average.GPUSavings
+		pkg = res.Average.PKGSavings
+	}
+	b.ReportMetric(100*avg, "avg_gpu_save_pct")
+	b.ReportMetric(100*pkg, "pkg_save_pct")
+}
+
+// BenchmarkAblationBufferSize measures the aggregation-buffer trade-off of
+// Section IV-A3 (the paper's "<20 KB for ~100 decisions" design point).
+func BenchmarkAblationBufferSize(b *testing.B) {
+	s := study(b)
+	var conv8, conv64 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := s.BufferSizeAblation([]int{8, 64})
+		conv8, conv64 = pts[0].ConvergeTime, pts[1].ConvergeTime
+	}
+	b.ReportMetric(conv8, "converge_s_buf8")
+	b.ReportMetric(conv64, "converge_s_buf64")
+}
+
+// BenchmarkAblationForgetting compares fixed forgetting factors against
+// STAFF on the Figure 2 task (Section III-B, ref [30]).
+func BenchmarkAblationForgetting(b *testing.B) {
+	var staff, rls090 float64
+	for i := 0; i < b.N; i++ {
+		for _, p := range experiments.ForgettingAblation(42) {
+			switch p.Name {
+			case "staff":
+				staff = p.MAPE
+			case "rls-0.900":
+				rls090 = p.MAPE
+			}
+		}
+	}
+	b.ReportMetric(100*staff, "staff_mape_pct")
+	b.ReportMetric(100*rls090, "rls090_mape_pct")
+}
+
+// BenchmarkAblationNeighborhood varies the candidate radius of the online
+// Oracle approximation.
+func BenchmarkAblationNeighborhood(b *testing.B) {
+	s := study(b)
+	var conv1, conv3 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := s.NeighborhoodAblation([]int{1, 3})
+		conv1, conv3 = pts[0].ConvergeTime, pts[1].ConvergeTime
+	}
+	b.ReportMetric(conv1, "converge_s_r1")
+	b.ReportMetric(conv3, "converge_s_r3")
+}
+
+// BenchmarkAblationHorizon varies the slow-rate cadence of the multi-rate
+// controller (Section IV-B).
+func BenchmarkAblationHorizon(b *testing.B) {
+	var save5, save120 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.CadenceAblation(42, []int{5, 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		save5, save120 = pts[0].GPUSavings, pts[1].GPUSavings
+	}
+	b.ReportMetric(100*save5, "save_pct_k5")
+	b.ReportMetric(100*save120, "save_pct_k120")
+}
+
+// ---- Microbenchmarks: the per-decision costs the paper cares about ----
+// (the whole point of explicit NMPC and compact IL policies is that the
+// online decision fits firmware/governor budgets).
+
+func BenchmarkPlatformExecute(b *testing.B) {
+	p := soc.NewXU3()
+	s := workload.MiBench(1)[0].Snippets[0]
+	cfg := soc.Config{LittleFreqIdx: 6, BigFreqIdx: 9, NLittle: 2, NBig: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Execute(s, cfg)
+	}
+}
+
+func BenchmarkOracleSnippetSweep(b *testing.B) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	s := workload.MiBench(1)[0].Snippets[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orc.Best(s) // 4940 configurations
+	}
+}
+
+func BenchmarkOnlineILDecision(b *testing.B) {
+	s := study(b)
+	oil := s.FreshOnlineIL()
+	app := s.Cortex[0]
+	res := s.P.Execute(app.Snippets[0], s.P.MaxPerfConfig())
+	st := control.State{
+		Counters: res.Counters,
+		Derived:  res.Counters.Derived(),
+		Config:   s.P.MaxPerfConfig(),
+		Threads:  1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oil.Decide(st)
+	}
+}
+
+func BenchmarkPolicyInference(b *testing.B) {
+	s := study(b)
+	pol := s.OfflinePolicy()
+	app := s.MiBench[0]
+	res := s.P.Execute(app.Snippets[0], s.P.MaxPerfConfig())
+	st := control.State{
+		Counters: res.Counters,
+		Derived:  res.Counters.Derived(),
+		Config:   s.P.MaxPerfConfig(),
+		Threads:  1,
+	}
+	feats := st.Features(s.P)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.PredictConfig(feats)
+	}
+}
+
+func BenchmarkExplicitNMPCDecision(b *testing.B) {
+	dev := gpu.NewIntelGen9()
+	budget := 1.0 / 30
+	m := nmpc.NewGPUModels(dev)
+	m.Warmup(budget)
+	ex, err := nmpc.FitExplicit(dev, m, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := gpu.State{FreqIdx: 8, Slices: 2}
+	stats := dev.RenderFrame(workload.Frame{Load: 0.4, MemRatio: 0.3}, budget, st, st)
+	obs := nmpc.FrameObs{Stats: stats, Budget: budget}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Next(obs)
+	}
+}
+
+func BenchmarkMultiRateNMPCDecision(b *testing.B) {
+	dev := gpu.NewIntelGen9()
+	budget := 1.0 / 30
+	m := nmpc.NewGPUModels(dev)
+	m.Warmup(budget)
+	c := nmpc.NewMultiRate(dev, m)
+	st := gpu.State{FreqIdx: 8, Slices: 2}
+	stats := dev.RenderFrame(workload.Frame{Load: 0.4, MemRatio: 0.3}, budget, st, st)
+	obs := nmpc.FrameObs{Stats: stats, Budget: budget}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Next(obs)
+	}
+}
+
+func BenchmarkRLSUpdate(b *testing.B) {
+	r := rls.New(10, 0.98, 100)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Update(x, 1.0)
+	}
+}
+
+func BenchmarkMLPTrainStep(b *testing.B) {
+	n := mlp.New(1, mlp.Tanh, control.NumFeatures, 24, 16, 4)
+	x := make([]float64, control.NumFeatures)
+	y := []float64{0.5, 0.5, 0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TrainStep(x, y, 0.01, 0.9)
+	}
+}
+
+func BenchmarkNoCSimulate(b *testing.B) {
+	m := noc.NewMesh(4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Simulate(noc.SimParams{
+			Lambda: 0.08, Pattern: noc.Uniform, Classes: 2,
+			Cycles: 5000, Warmup: 1000, Seed: int64(i),
+		})
+	}
+}
+
+func BenchmarkNoCAnalytical(b *testing.B) {
+	m := noc.NewMesh(8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Analytical(0.05, noc.Uniform, 2, nil)
+	}
+}
+
+func BenchmarkOnlineModelPredict(b *testing.B) {
+	s := study(b)
+	models := s.FreshModels()
+	app := s.Cortex[0]
+	cfg := soc.Config{LittleFreqIdx: 8, BigFreqIdx: 3, NLittle: 1, NBig: 0}
+	res := s.P.Execute(app.Snippets[0], cfg)
+	st := control.State{
+		Counters: res.Counters,
+		Derived:  res.Counters.Derived(),
+		Config:   cfg,
+		Threads:  1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		models.Predict(st, cfg)
+	}
+}
+
+var sinkDataset il.Dataset // prevents dead-code elimination in builds
+
+func BenchmarkBuildDatasetSmall(b *testing.B) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	apps := workload.MiBench(1)[:1]
+	apps[0].Snippets = apps[0].Snippets[:8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkDataset = il.BuildDataset(p, orc, apps)
+	}
+}

@@ -1,0 +1,74 @@
+// Command gpusim runs a graphics trace on the integrated-GPU model under a
+// chosen controller and reports the Figure 5 energy breakdown.
+//
+// Usage:
+//
+//	gpusim -trace SharkDash -ctrl explicit
+//	gpusim -trace all -ctrl baseline
+//
+// Controllers: baseline, nmpc, explicit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"socrm/internal/gpu"
+	"socrm/internal/metrics"
+	"socrm/internal/nmpc"
+	"socrm/internal/workload"
+)
+
+func main() {
+	traceName := flag.String("trace", "Nenamark2", "trace name or 'all'")
+	ctrlName := flag.String("ctrl", "explicit", "controller: baseline, nmpc, explicit")
+	fps := flag.Float64("fps", 30, "target frames per second")
+	seed := flag.Int64("seed", 42, "trace seed")
+	temp := flag.Float64("temp", 45, "platform temperature, Celsius")
+	flag.Parse()
+
+	var traces []workload.GraphicsTrace
+	if *traceName == "all" {
+		traces = workload.Fig5Traces(*fps, *seed)
+	} else {
+		tr, err := workload.TraceByName(*traceName, *fps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(1)
+		}
+		traces = []workload.GraphicsTrace{tr}
+	}
+
+	t := &metrics.Table{Header: []string{"Trace", "Ctrl", "GPU(J)", "PKG(J)", "PKG+DRAM(J)", "Late%", "Reconfigs"}}
+	for _, tr := range traces {
+		dev := gpu.NewIntelGen9()
+		dev.Temp = *temp
+		ctrl, err := makeController(dev, tr.Budget(), *ctrlName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(2)
+		}
+		start := gpu.State{FreqIdx: len(dev.OPPs) / 2, Slices: dev.MaxSlices}
+		res := nmpc.RunTrace(dev, tr, ctrl, nmpc.RunOptions{Start: start})
+		t.AddRow(tr.Name, ctrl.Name(), res.EnergyGPU, res.EnergyPKG,
+			res.EnergyPKG+res.EnergyDRAM, 100*res.PerfOverhead(), res.Reconfigs)
+	}
+	t.Render(os.Stdout)
+}
+
+func makeController(dev *gpu.Device, budget float64, name string) (nmpc.Controller, error) {
+	switch name {
+	case "baseline":
+		return nmpc.NewBaseline(dev), nil
+	case "nmpc":
+		m := nmpc.NewGPUModels(dev)
+		m.Warmup(budget)
+		return nmpc.NewMultiRate(dev, m), nil
+	case "explicit":
+		m := nmpc.NewGPUModels(dev)
+		m.Warmup(budget)
+		return nmpc.FitExplicit(dev, m, budget)
+	}
+	return nil, fmt.Errorf("unknown controller %q", name)
+}

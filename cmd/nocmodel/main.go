@@ -1,0 +1,95 @@
+// Command nocmodel trains and evaluates the NoC latency models of Section
+// III-C: the queueing-theoretic analytical model, the SVR-corrected learned
+// model and the simulator ground truth, swept over injection rate.
+//
+// Usage:
+//
+//	nocmodel -mesh 4x4 -pattern uniform -classes 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"socrm/internal/metrics"
+	"socrm/internal/noc"
+)
+
+func main() {
+	meshSpec := flag.String("mesh", "4x4", "mesh dimensions WxH")
+	patName := flag.String("pattern", "uniform", "traffic: uniform, transpose, hotspot")
+	classes := flag.Int("classes", 2, "priority classes")
+	cycles := flag.Int("cycles", 30000, "simulation cycles per point")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	w, h, err := parseMesh(*meshSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocmodel:", err)
+		os.Exit(1)
+	}
+	pattern, err := parsePattern(*patName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocmodel:", err)
+		os.Exit(1)
+	}
+	mesh := noc.NewMesh(w, h)
+
+	train := []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
+	model, err := noc.TrainLatencyModel(mesh, []noc.Pattern{noc.Uniform, noc.Transpose}, train, *classes, *cycles, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocmodel:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%dx%d mesh, %s traffic, %d priority classes\n", w, h, pattern, *classes)
+	t := &metrics.Table{Header: []string{"Lambda", "Simulated", "Analytical", "SVR", "MaxRho", "Hi-Pri", "Lo-Pri"}}
+	for _, lam := range []float64{0.03, 0.05, 0.07, 0.09, 0.11, 0.13} {
+		sim := mesh.Simulate(noc.SimParams{
+			Lambda: lam, Pattern: pattern, Classes: *classes,
+			Cycles: *cycles, Warmup: *cycles / 5, Seed: *seed + 100,
+		})
+		ana := mesh.Analytical(lam, pattern, *classes, nil)
+		hi, lo := "-", "-"
+		if *classes >= 2 {
+			hi = fmt.Sprintf("%.2f", sim.ClassLatency[0])
+			lo = fmt.Sprintf("%.2f", sim.ClassLatency[*classes-1])
+		}
+		t.AddRow(lam, sim.AvgLatency, ana.AvgLatency, model.Predict(lam, pattern), ana.MaxChanRho, hi, lo)
+	}
+	t.Render(os.Stdout)
+}
+
+func parseMesh(s string) (int, int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mesh must look like 4x4, got %q", s)
+	}
+	w, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if w < 2 || h < 2 || w > 32 || h > 32 {
+		return 0, 0, fmt.Errorf("mesh %dx%d out of supported range", w, h)
+	}
+	return w, h, nil
+}
+
+func parsePattern(s string) (noc.Pattern, error) {
+	switch strings.ToLower(s) {
+	case "uniform":
+		return noc.Uniform, nil
+	case "transpose":
+		return noc.Transpose, nil
+	case "hotspot":
+		return noc.Hotspot, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q", s)
+}

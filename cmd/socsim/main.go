@@ -1,0 +1,102 @@
+// Command socsim runs one application (or a whole suite) on the big.LITTLE
+// simulator under a chosen policy and reports energy, runtime and the gap
+// to the Oracle.
+//
+// Usage:
+//
+//	socsim -app Kmeans -policy online-il
+//	socsim -app all -policy ondemand
+//
+// Policies: oracle, offline-il, offline-tree, online-il, rl, dqn,
+// ondemand, interactive, performance, powersave.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"socrm/internal/control"
+	"socrm/internal/experiments"
+	"socrm/internal/governor"
+	"socrm/internal/il"
+	"socrm/internal/metrics"
+	"socrm/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "FFT", "application name or 'all'")
+	policy := flag.String("policy", "online-il", "control policy")
+	seed := flag.Int64("seed", 42, "workload seed")
+	snippets := flag.Int("snippets", 60, "per-app snippet cap (0 = full)")
+	flag.Parse()
+
+	study, err := experiments.NewStudy(experiments.Options{Seed: *seed, MaxSnippets: *snippets})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socsim:", err)
+		os.Exit(1)
+	}
+
+	var apps []workload.Application
+	if *appName == "all" {
+		apps = append(apps, study.MiBench...)
+		apps = append(apps, study.Cortex...)
+		apps = append(apps, study.Parsec...)
+	} else {
+		app, err := workload.ByName(*appName, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socsim:", err)
+			os.Exit(1)
+		}
+		if *snippets > 0 && len(app.Snippets) > *snippets {
+			app.Snippets = app.Snippets[:*snippets]
+		}
+		apps = []workload.Application{app}
+	}
+
+	t := &metrics.Table{Header: []string{"App", "Policy", "Energy(J)", "Time(s)", "vs Oracle"}}
+	for _, app := range apps {
+		dec, err := makeDecider(study, *policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socsim:", err)
+			os.Exit(2)
+		}
+		seq := workload.NewSequence(app)
+		orcE := study.OracleEnergy(app.Name)
+		if dec == nil { // the Oracle itself
+			t.AddRow(app.Name, "oracle", orcE, "-", 1.0)
+			continue
+		}
+		start := study.P.Clamp(study.P.MaxPerfConfig())
+		run := control.Run(study.P, seq, dec, start)
+		t.AddRow(app.Name, dec.Name(), run.Energy, run.Time, run.Energy/orcE)
+	}
+	t.Render(os.Stdout)
+}
+
+// makeDecider builds a fresh decider per run; nil means "report the Oracle".
+func makeDecider(s *experiments.Study, name string) (control.Decider, error) {
+	switch name {
+	case "oracle":
+		return nil, nil
+	case "offline-il":
+		return &il.OfflineDecider{P: s.P, Policy: s.OfflinePolicy().Clone()}, nil
+	case "offline-tree":
+		return &il.OfflineDecider{P: s.P, Policy: s.OfflineTreePolicy()}, nil
+	case "online-il":
+		return s.FreshOnlineIL(), nil
+	case "rl":
+		return s.FreshQTable(6), nil
+	case "dqn":
+		return s.FreshDQN(2), nil
+	case "ondemand":
+		return governor.NewOndemand(s.P), nil
+	case "interactive":
+		return governor.NewInteractive(s.P), nil
+	case "performance":
+		return governor.Performance{P: s.P}, nil
+	case "powersave":
+		return governor.Powersave{P: s.P}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}

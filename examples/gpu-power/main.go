@@ -1,0 +1,65 @@
+// GPU power: multi-variable power management of the integrated GPU
+// (Section IV-B). Compares the stock utilization governor against the
+// multi-rate NMPC controller and its explicit (regression-surface)
+// approximation on a deadline-driven graphics trace.
+//
+//	go run ./examples/gpu-power [title]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"socrm/internal/gpu"
+	"socrm/internal/nmpc"
+	"socrm/internal/workload"
+)
+
+func main() {
+	title := "FruitNinja"
+	if len(os.Args) > 1 {
+		title = os.Args[1]
+	}
+	trace, err := workload.TraceByName(title, 30, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := gpu.NewIntelGen9()
+	budget := trace.Budget()
+	start := gpu.State{FreqIdx: len(dev.OPPs) / 2, Slices: dev.MaxSlices}
+
+	fmt.Printf("trace: %s, %d frames at %.0f FPS (budget %.1f ms)\n",
+		trace.Name, len(trace.Frames), trace.TargetFPS, 1000*budget)
+
+	// Baseline: utilization-chasing governor, slices always on.
+	base := nmpc.RunTrace(dev, trace, nmpc.NewBaseline(dev), nmpc.RunOptions{Start: start})
+
+	// Multi-rate NMPC: exact constrained solve with learned models.
+	m1 := nmpc.NewGPUModels(dev)
+	m1.Warmup(budget)
+	exact := nmpc.RunTrace(dev, trace, nmpc.NewMultiRate(dev, m1), nmpc.RunOptions{Start: start})
+
+	// Explicit NMPC: the control surface approximated offline by small
+	// regression trees, evaluated in nanoseconds online.
+	m2 := nmpc.NewGPUModels(dev)
+	m2.Warmup(budget)
+	ex, err := nmpc.FitExplicit(dev, m2, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expl := nmpc.RunTrace(dev, trace, ex, nmpc.RunOptions{Start: start})
+
+	fmt.Println()
+	fmt.Printf("%-14s %10s %10s %12s %8s %8s\n", "controller", "GPU(J)", "PKG(J)", "PKG+DRAM(J)", "late", "save")
+	row := func(name string, r nmpc.TraceResult) {
+		fmt.Printf("%-14s %10.2f %10.2f %12.2f %7.2f%% %7.1f%%\n",
+			name, r.EnergyGPU, r.EnergyPKG, r.EnergyPKG+r.EnergyDRAM,
+			100*r.PerfOverhead(), 100*nmpc.Savings(base.EnergyGPU, r.EnergyGPU))
+	}
+	row("baseline", base)
+	row("nmpc", exact)
+	row("explicit-nmpc", expl)
+	fmt.Printf("\nslice reconfigurations: baseline %d, nmpc %d, explicit %d\n",
+		base.Reconfigs, exact.Reconfigs, expl.Reconfigs)
+}

@@ -1,0 +1,145 @@
+// Package control defines the closed-loop runtime that all CPU-side DRM
+// policies plug into: after every snippet the platform reports the Table I
+// counters, the policy picks the configuration for the next snippet, and
+// the loop accounts energy and time. The Oracle, imitation-learning,
+// reinforcement-learning and governor policies all implement Decider.
+package control
+
+import (
+	"socrm/internal/counters"
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// State is everything a policy may observe at decision time: the counters
+// of the snippet that just finished, the configuration it ran under, and
+// the OS-visible number of runnable threads.
+type State struct {
+	Counters counters.Snapshot
+	Derived  counters.DerivedFeatures
+	Config   soc.Config
+	Threads  int
+	Snippet  int    // index within the sequence
+	App      string // owning application name
+}
+
+// Features returns the policy input vector: the eight derived counter
+// features, the four normalized configuration knobs, and the thread count.
+func (s State) Features(p *soc.Platform) []float64 {
+	f := s.Derived.Vector()
+	f = append(f, p.Features(s.Config)...)
+	f = append(f, float64(s.Threads)/4)
+	return f
+}
+
+// NumFeatures is the length of State.Features.
+const NumFeatures = counters.NumDerived + 4 + 1
+
+// Decider chooses the next configuration from the observed state.
+type Decider interface {
+	Name() string
+	Decide(s State) soc.Config
+}
+
+// Observer is implemented by policies that learn from the executed outcome
+// (online-IL updates its models, RL its Q-function).
+type Observer interface {
+	Observe(prev State, chosen soc.Config, result soc.Result, next State)
+}
+
+// DecisionOverheadJ is the energy charged per control decision for
+// evaluating the policy/models on-device. It keeps the accounting honest:
+// the paper reports sub-1% overheads and so does this model.
+const DecisionOverheadJ = 2e-4
+
+// RunResult aggregates one closed-loop run.
+type RunResult struct {
+	Energy   float64 // joules, including decision overhead
+	Time     float64 // seconds of workload execution
+	Snippets int
+
+	PerSnippetEnergy []float64
+	PerSnippetTime   []float64
+	Configs          []soc.Config // configuration each snippet ran under
+	AppIdx           []int        // owning app per snippet
+}
+
+// DecisionHook observes every decision the loop takes: the state it was
+// made from and the configuration chosen for the next snippet. Experiment
+// harnesses use it to track policy-vs-Oracle agreement over time (Fig. 3).
+type DecisionHook func(st State, chosen soc.Config)
+
+// Run executes the sequence under the decider, starting from the given
+// configuration. The decision for snippet k+1 is made from the counters of
+// snippet k, as in Section IV-A1.
+func Run(p *soc.Platform, seq *workload.Sequence, d Decider, start soc.Config) RunResult {
+	return RunWithHook(p, seq, d, start, nil)
+}
+
+// RunWithHook is Run with a per-decision observation hook.
+func RunWithHook(p *soc.Platform, seq *workload.Sequence, d Decider, start soc.Config, hook DecisionHook) RunResult {
+	res := RunResult{}
+	cfg := p.Clamp(start)
+	var prevState State
+	havePrev := false
+	for k, sn := range seq.Snippets {
+		r := p.Execute(sn, cfg)
+		res.Energy += r.Energy + DecisionOverheadJ
+		res.Time += r.Time
+		res.Snippets++
+		res.PerSnippetEnergy = append(res.PerSnippetEnergy, r.Energy)
+		res.PerSnippetTime = append(res.PerSnippetTime, r.Time)
+		res.Configs = append(res.Configs, cfg)
+		res.AppIdx = append(res.AppIdx, seq.AppIdx[k])
+
+		st := State{
+			Counters: r.Counters,
+			Derived:  r.Counters.Derived(),
+			Config:   cfg,
+			Threads:  sn.Threads,
+			Snippet:  k,
+			App:      seq.Apps[seq.AppIdx[k]].Name,
+		}
+		next := cfg
+		if k < len(seq.Snippets)-1 {
+			next = p.Clamp(d.Decide(st))
+			if hook != nil {
+				hook(st, next)
+			}
+		}
+		if ob, okObs := d.(Observer); okObs && havePrev {
+			ob.Observe(prevState, cfg, r, st)
+		}
+		prevState = st
+		havePrev = true
+		cfg = next
+	}
+	return res
+}
+
+// PerAppEnergy splits a run's energy by application index.
+func (r RunResult) PerAppEnergy(numApps int) []float64 {
+	out := make([]float64, numApps)
+	for i, e := range r.PerSnippetEnergy {
+		out[r.AppIdx[i]] += e
+	}
+	return out
+}
+
+// StaticDecider always returns a fixed configuration (used for baselines
+// and tests).
+type StaticDecider struct {
+	Cfg   soc.Config
+	Label string
+}
+
+// Name implements Decider.
+func (s StaticDecider) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "static"
+}
+
+// Decide implements Decider.
+func (s StaticDecider) Decide(State) soc.Config { return s.Cfg }

@@ -1,0 +1,132 @@
+package control
+
+import (
+	"testing"
+
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+func shortSeq() *workload.Sequence {
+	apps := workload.MiBench(1)[:2]
+	for i := range apps {
+		apps[i].Snippets = apps[i].Snippets[:5]
+	}
+	return workload.NewSequence(apps...)
+}
+
+func TestRunAccounting(t *testing.T) {
+	p := soc.NewXU3()
+	seq := shortSeq()
+	cfg := soc.Config{LittleFreqIdx: 6, BigFreqIdx: 9, NLittle: 2, NBig: 2}
+	res := Run(p, seq, StaticDecider{Cfg: cfg}, cfg)
+	if res.Snippets != 10 {
+		t.Fatalf("snippets = %d", res.Snippets)
+	}
+	var eSum, tSum float64
+	for i := range res.PerSnippetEnergy {
+		eSum += res.PerSnippetEnergy[i]
+		tSum += res.PerSnippetTime[i]
+	}
+	if diff := res.Energy - eSum - float64(res.Snippets)*DecisionOverheadJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("energy accounting off by %v", diff)
+	}
+	if diff := res.Time - tSum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("time accounting off by %v", diff)
+	}
+	for _, c := range res.Configs {
+		if c != cfg {
+			t.Fatal("static decider should pin the configuration")
+		}
+	}
+}
+
+func TestRunFirstSnippetUsesStart(t *testing.T) {
+	p := soc.NewXU3()
+	seq := shortSeq()
+	start := soc.Config{LittleFreqIdx: 1, BigFreqIdx: 2, NLittle: 3, NBig: 1}
+	other := soc.Config{LittleFreqIdx: 9, BigFreqIdx: 15, NLittle: 1, NBig: 4}
+	res := Run(p, seq, StaticDecider{Cfg: other}, start)
+	if res.Configs[0] != start {
+		t.Fatalf("first snippet ran %v, want start %v", res.Configs[0], start)
+	}
+	if res.Configs[1] != other {
+		t.Fatalf("second snippet ran %v, want decider choice %v", res.Configs[1], other)
+	}
+}
+
+func TestRunHookSeesEveryDecision(t *testing.T) {
+	p := soc.NewXU3()
+	seq := shortSeq()
+	cfg := p.MaxPerfConfig()
+	calls := 0
+	RunWithHook(p, seq, StaticDecider{Cfg: cfg}, cfg, func(st State, chosen soc.Config) {
+		calls++
+		if chosen != cfg {
+			t.Fatal("hook got wrong chosen config")
+		}
+		if st.Counters.InstructionsRetired == 0 {
+			t.Fatal("hook state has empty counters")
+		}
+	})
+	// One decision per snippet except the last.
+	if calls != seq.Len()-1 {
+		t.Fatalf("hook called %d times, want %d", calls, seq.Len()-1)
+	}
+}
+
+// observingDecider records Observe invocations.
+type observingDecider struct {
+	StaticDecider
+	observed int
+}
+
+func (o *observingDecider) Observe(prev State, chosen soc.Config, r soc.Result, next State) {
+	o.observed++
+	if r.Energy <= 0 {
+		panic("bad result in Observe")
+	}
+}
+
+func TestRunCallsObserver(t *testing.T) {
+	p := soc.NewXU3()
+	seq := shortSeq()
+	d := &observingDecider{StaticDecider: StaticDecider{Cfg: p.MaxPerfConfig()}}
+	Run(p, seq, d, p.MaxPerfConfig())
+	// Observe starts after the first decision exists: snippets-1 calls
+	// minus the very first (no previous state yet).
+	if d.observed != seq.Len()-1 {
+		t.Fatalf("Observe called %d times, want %d", d.observed, seq.Len()-1)
+	}
+}
+
+func TestStateFeatures(t *testing.T) {
+	p := soc.NewXU3()
+	s := workload.MiBench(1)[0].Snippets[0]
+	cfg := soc.Config{LittleFreqIdx: 6, BigFreqIdx: 9, NLittle: 2, NBig: 2}
+	r := p.Execute(s, cfg)
+	st := State{Counters: r.Counters, Derived: r.Counters.Derived(), Config: cfg, Threads: 1}
+	f := st.Features(p)
+	if len(f) != NumFeatures {
+		t.Fatalf("features = %d, want %d", len(f), NumFeatures)
+	}
+}
+
+func TestPerAppEnergy(t *testing.T) {
+	p := soc.NewXU3()
+	seq := shortSeq()
+	cfg := p.MaxPerfConfig()
+	res := Run(p, seq, StaticDecider{Cfg: cfg}, cfg)
+	per := res.PerAppEnergy(2)
+	if per[0] <= 0 || per[1] <= 0 {
+		t.Fatalf("per-app energies %v", per)
+	}
+	sum := per[0] + per[1]
+	var want float64
+	for _, e := range res.PerSnippetEnergy {
+		want += e
+	}
+	if diff := sum - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-app sum off by %v", diff)
+	}
+}

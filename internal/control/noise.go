@@ -1,0 +1,65 @@
+package control
+
+import (
+	"math/rand"
+
+	"socrm/internal/soc"
+)
+
+// NoisyDecider injects multiplicative measurement noise into the counter
+// and power readings a policy observes, modeling real PMU sampling jitter
+// and power-sensor error. It exists for robustness studies: the paper's
+// methods must tolerate imperfect telemetry because the INA231 sensors and
+// PMU sampling on the real board are far from exact.
+type NoisyDecider struct {
+	Inner  Decider
+	RelStd float64 // relative standard deviation of each reading
+	rng    *rand.Rand
+}
+
+// NewNoisyDecider wraps inner with the given relative noise level.
+func NewNoisyDecider(inner Decider, relStd float64, seed int64) *NoisyDecider {
+	return &NoisyDecider{Inner: inner, RelStd: relStd, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Decider.
+func (n *NoisyDecider) Name() string { return "noisy(" + n.Inner.Name() + ")" }
+
+func (n *NoisyDecider) jitter(v float64) float64 {
+	f := 1 + n.RelStd*n.rng.NormFloat64()
+	if f < 0.1 {
+		f = 0.1
+	}
+	return v * f
+}
+
+// perturb returns the state with noisy counter readings. Utilizations are
+// left exact (they are OS bookkeeping, not sensor readings).
+func (n *NoisyDecider) perturb(st State) State {
+	c := st.Counters
+	c.InstructionsRetired = n.jitter(c.InstructionsRetired)
+	c.CPUCycles = n.jitter(c.CPUCycles)
+	c.BranchMissPredPC = n.jitter(c.BranchMissPredPC)
+	c.L2Misses = n.jitter(c.L2Misses)
+	c.DataMemAccess = n.jitter(c.DataMemAccess)
+	c.NoncacheExtMemReq = n.jitter(c.NoncacheExtMemReq)
+	c.ChipPower = n.jitter(c.ChipPower)
+	st.Counters = c
+	st.Derived = c.Derived()
+	return st
+}
+
+// Decide implements Decider.
+func (n *NoisyDecider) Decide(st State) soc.Config {
+	return n.Inner.Decide(n.perturb(st))
+}
+
+// Observe implements Observer, perturbing the post-execution state the
+// inner learner trains on (the noise hits model updates too, as it would
+// on hardware). The soc.Result itself is the physical ground truth and is
+// left exact — learners only see it through the state's counters anyway.
+func (n *NoisyDecider) Observe(prev State, chosen soc.Config, r soc.Result, next State) {
+	if ob, okObs := n.Inner.(Observer); okObs {
+		ob.Observe(n.perturb(prev), chosen, r, n.perturb(next))
+	}
+}

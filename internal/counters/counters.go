@@ -1,0 +1,128 @@
+// Package counters defines the hardware performance-counter vector the
+// paper's Table I collects at the end of every workload snippet, plus the
+// feature transforms the learning components consume.
+//
+// On the physical Odroid-XU3 these values come from the PMU and the INA231
+// power sensors; here they are synthesized by internal/soc from the
+// simulator's microarchitectural state, with identical semantics.
+package counters
+
+import "fmt"
+
+// Snapshot is the per-snippet counter record of Table I.
+type Snapshot struct {
+	InstructionsRetired float64 // instructions retired in the snippet
+	CPUCycles           float64 // total cycles across active cores
+	BranchMissPredPC    float64 // branch mispredictions per core
+	L2Misses            float64 // level-2 cache misses, total
+	DataMemAccess       float64 // data memory accesses
+	NoncacheExtMemReq   float64 // non-cacheable external memory requests
+	LittleUtil          float64 // little-cluster utilization in [0,1]
+	BigUtil             float64 // big-cluster utilization in [0,1]
+	ChipPower           float64 // total chip power consumption, W
+}
+
+// TableI returns the names of the nine quantities of the paper's Table I in
+// a stable order matching Vector.
+func TableI() []string {
+	return []string{
+		"InstructionsRetired",
+		"CPUCycles",
+		"BranchMissPredPerCore",
+		"Level2CacheMisses",
+		"DataMemoryAccess",
+		"NoncacheExternalMemoryRequest",
+		"LittleClusterUtilization",
+		"BigClusterUtilization",
+		"TotalChipPowerConsumption",
+	}
+}
+
+// Vector returns the snapshot as a feature vector ordered as TableI.
+func (s Snapshot) Vector() []float64 {
+	return []float64{
+		s.InstructionsRetired,
+		s.CPUCycles,
+		s.BranchMissPredPC,
+		s.L2Misses,
+		s.DataMemAccess,
+		s.NoncacheExtMemReq,
+		s.LittleUtil,
+		s.BigUtil,
+		s.ChipPower,
+	}
+}
+
+// FromVector rebuilds a Snapshot from a TableI-ordered vector.
+func FromVector(v []float64) (Snapshot, error) {
+	if len(v) != 9 {
+		return Snapshot{}, fmt.Errorf("counters: want 9 values, got %d", len(v))
+	}
+	return Snapshot{
+		InstructionsRetired: v[0],
+		CPUCycles:           v[1],
+		BranchMissPredPC:    v[2],
+		L2Misses:            v[3],
+		DataMemAccess:       v[4],
+		NoncacheExtMemReq:   v[5],
+		LittleUtil:          v[6],
+		BigUtil:             v[7],
+		ChipPower:           v[8],
+	}, nil
+}
+
+// Derived returns normalized microarchitecture-independent rates that the
+// policies use as inputs: IPC, misses-per-kilo-instruction and
+// memory-accesses-per-instruction. These are scale-free, so a policy trained
+// on one snippet length transfers to another.
+func (s Snapshot) Derived() DerivedFeatures {
+	ipc := 0.0
+	if s.CPUCycles > 0 {
+		ipc = s.InstructionsRetired / s.CPUCycles
+	}
+	perKI := func(x float64) float64 {
+		if s.InstructionsRetired == 0 {
+			return 0
+		}
+		return 1000 * x / s.InstructionsRetired
+	}
+	perI := func(x float64) float64 {
+		if s.InstructionsRetired == 0 {
+			return 0
+		}
+		return x / s.InstructionsRetired
+	}
+	return DerivedFeatures{
+		IPC:         ipc,
+		L2MPKI:      perKI(s.L2Misses),
+		BranchMPKI:  perKI(s.BranchMissPredPC),
+		MemPerInstr: perI(s.DataMemAccess),
+		ExtPerInstr: perI(s.NoncacheExtMemReq),
+		LittleUtil:  s.LittleUtil,
+		BigUtil:     s.BigUtil,
+		Power:       s.ChipPower,
+	}
+}
+
+// DerivedFeatures is the normalized feature view of a Snapshot.
+type DerivedFeatures struct {
+	IPC         float64
+	L2MPKI      float64
+	BranchMPKI  float64
+	MemPerInstr float64
+	ExtPerInstr float64
+	LittleUtil  float64
+	BigUtil     float64
+	Power       float64
+}
+
+// Vector returns the derived features as a slice in declaration order.
+func (d DerivedFeatures) Vector() []float64 {
+	return []float64{
+		d.IPC, d.L2MPKI, d.BranchMPKI, d.MemPerInstr,
+		d.ExtPerInstr, d.LittleUtil, d.BigUtil, d.Power,
+	}
+}
+
+// NumDerived is the length of DerivedFeatures.Vector.
+const NumDerived = 8

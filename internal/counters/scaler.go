@@ -1,0 +1,69 @@
+package counters
+
+import "socrm/internal/mathx"
+
+// Scaler performs per-dimension standardization (zero mean, unit variance)
+// of feature vectors. Policies are fit on scaled features so that counters
+// with large magnitudes (cycles) do not drown rates (utilization).
+//
+// Transformed values are clipped to +/-ClipSigma standard deviations: a
+// policy deployed on workloads far outside its training distribution (the
+// Table II scenario) must receive bounded inputs, or saturating activations
+// make it both wrong and untrainable online.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// ClipSigma bounds standardized features.
+const ClipSigma = 4.0
+
+// FitScaler estimates scaling statistics from a sample of feature vectors.
+func FitScaler(samples [][]float64) *Scaler {
+	if len(samples) == 0 {
+		return &Scaler{}
+	}
+	dim := len(samples[0])
+	s := &Scaler{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	col := make([]float64, len(samples))
+	for j := 0; j < dim; j++ {
+		for i, row := range samples {
+			col[i] = row[j]
+		}
+		s.Mean[j] = mathx.Mean(col)
+		s.Std[j] = mathx.Std(col)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns the standardized copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		v := (x[i] - s.Mean[i]) / s.Std[i]
+		if v > ClipSigma {
+			v = ClipSigma
+		} else if v < -ClipSigma {
+			v = -ClipSigma
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TransformAll standardizes every vector in xs.
+func (s *Scaler) TransformAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Transform(x)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package dtm implements dynamic thermal management: it closes the loop
+// between the big.LITTLE platform and the RC thermal model — execution
+// power heats the die, die temperature raises leakage (Section III-A) —
+// and provides the budget-based thermal governor of ref [24], which
+// predicts the sustainable power from the thermal fixed point and throttles
+// frequency and core counts before a violation occurs.
+package dtm
+
+import (
+	"math"
+
+	"socrm/internal/control"
+	"socrm/internal/soc"
+	"socrm/internal/thermal"
+	"socrm/internal/workload"
+)
+
+// nodePowers splits the chip power of an executed snippet across the
+// thermal nodes (big, little, gpu, mem, skin). The GPU is idle in CPU-side
+// runs; memory power follows the external-bandwidth share.
+func nodePowers(p *soc.Platform, cfg soc.Config, r soc.Result) []float64 {
+	lo := p.LittleOPPs[cfg.LittleFreqIdx]
+	bo := p.BigOPPs[cfg.BigFreqIdx]
+	ub, ul := soc.Placement(clampThreads(r), cfg)
+	// Relative dynamic weights per cluster; absolute values are rescaled
+	// to match the measured chip power.
+	wBig := float64(ub) * p.CeffBigNF * bo.Volt * bo.Volt * bo.FreqMHz / 1000
+	wLit := float64(ul) * p.CeffLittleNF * lo.Volt * lo.Volt * lo.FreqMHz / 1000
+	wMem := 0.15 * (wBig + wLit)
+	total := wBig + wLit + wMem
+	if total <= 0 {
+		return []float64{0, r.AvgPower, 0, 0, 0}
+	}
+	scale := r.AvgPower / total
+	return []float64{wBig * scale, wLit * scale, 0, wMem * scale, 0}
+}
+
+func clampThreads(r soc.Result) int {
+	// Reconstruct a thread estimate from the utilization counters; exact
+	// values are not needed for a power split.
+	t := int(r.Counters.BigUtil*4+0.5) + int(r.Counters.LittleUtil*4+0.5)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// RunResult extends the control-loop result with thermal telemetry.
+type RunResult struct {
+	control.RunResult
+	PeakTemp   float64 // hottest die node over the run, Celsius
+	Violations int     // snippets during which the limit was exceeded
+	PeakSkin   float64
+}
+
+// Run executes the sequence with the platform thermally coupled: after
+// every snippet the thermal state advances under the measured power and the
+// die temperature feeds back into the platform's leakage model.
+func Run(p *soc.Platform, tm *thermal.Model, seq *workload.Sequence, d control.Decider, start soc.Config, tLimit float64) RunResult {
+	temps := make([]float64, tm.Dim())
+	for i := range temps {
+		temps[i] = tm.Tamb
+	}
+	res := RunResult{}
+	cfg := p.Clamp(start)
+	var prevState control.State
+	havePrev := false
+	for k, sn := range seq.Snippets {
+		// Leakage feedback: the platform sees the hottest die node.
+		p.Temp = maxDie(temps)
+		r := p.Execute(sn, cfg)
+		res.Energy += r.Energy + control.DecisionOverheadJ
+		res.Time += r.Time
+		res.Snippets++
+		res.PerSnippetEnergy = append(res.PerSnippetEnergy, r.Energy)
+		res.PerSnippetTime = append(res.PerSnippetTime, r.Time)
+		res.Configs = append(res.Configs, cfg)
+		res.AppIdx = append(res.AppIdx, seq.AppIdx[k])
+
+		// Advance the thermal network for the snippet duration.
+		pw := nodePowers(p, cfg, r)
+		steps := int(math.Ceil(r.Time / tm.Dt))
+		for s := 0; s < steps; s++ {
+			temps = tm.Step(temps, pw)
+		}
+		if die := maxDie(temps); die > res.PeakTemp {
+			res.PeakTemp = die
+		}
+		if skin := temps[tm.Dim()-1]; skin > res.PeakSkin {
+			res.PeakSkin = skin
+		}
+		if maxDie(temps) > tLimit {
+			res.Violations++
+		}
+
+		st := control.State{
+			Counters: r.Counters,
+			Derived:  r.Counters.Derived(),
+			Config:   cfg,
+			Threads:  sn.Threads,
+			Snippet:  k,
+			App:      seq.Apps[seq.AppIdx[k]].Name,
+		}
+		next := cfg
+		if k < len(seq.Snippets)-1 {
+			if tg, okTG := d.(*ThermalGovernor); okTG {
+				tg.temps = temps
+				tg.lastPowers = pw
+			}
+			next = p.Clamp(d.Decide(st))
+		}
+		if ob, okObs := d.(control.Observer); okObs && havePrev {
+			ob.Observe(prevState, cfg, r, st)
+		}
+		prevState = st
+		havePrev = true
+		cfg = next
+	}
+	return res
+}
+
+func maxDie(temps []float64) float64 {
+	// All nodes except the last (skin) are die nodes.
+	m := temps[0]
+	for _, v := range temps[:len(temps)-1] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ThermalGovernor wraps any decider with the power-budgeting policy of
+// ref [24]: before applying the inner decision it checks the thermal fixed
+// point the measured power leads to; if that exceeds the limit it throttles
+// frequencies (and ultimately big cores) until the predicted steady state
+// is safe.
+type ThermalGovernor struct {
+	Inner  control.Decider
+	P      *soc.Platform
+	Model  *thermal.Model
+	TLimit float64
+	Margin float64 // Celsius of headroom kept below the limit
+
+	temps      []float64
+	lastPowers []float64
+	throttles  int
+}
+
+// NewThermalGovernor wraps inner with a limit and a 3-degree margin.
+func NewThermalGovernor(inner control.Decider, p *soc.Platform, tm *thermal.Model, tLimit float64) *ThermalGovernor {
+	return &ThermalGovernor{Inner: inner, P: p, Model: tm, TLimit: tLimit, Margin: 3}
+}
+
+// Name implements control.Decider.
+func (g *ThermalGovernor) Name() string { return "thermal(" + g.Inner.Name() + ")" }
+
+// Throttles reports how many decisions were thermally overridden.
+func (g *ThermalGovernor) Throttles() int { return g.throttles }
+
+// Decide implements control.Decider.
+func (g *ThermalGovernor) Decide(st control.State) soc.Config {
+	want := g.P.Clamp(g.Inner.Decide(st))
+	if g.lastPowers == nil {
+		return want
+	}
+	// Sustained-power budget: the largest scaling of the current power
+	// vector whose fixed point stays below the limit.
+	alpha, err := g.Model.PowerBudget(g.lastPowers, g.TLimit-g.Margin)
+	if err != nil || alpha >= 1 {
+		return want
+	}
+	// Over budget: throttle. Frequency scaling is roughly cubic in power,
+	// so step both frequencies down proportionally to the cube root of
+	// the budget; shed big cores when the budget is deep underwater.
+	g.throttles++
+	scale := math.Cbrt(alpha)
+	want.BigFreqIdx = int(float64(want.BigFreqIdx) * scale)
+	want.LittleFreqIdx = int(float64(want.LittleFreqIdx) * scale)
+	if alpha < 0.5 && want.NBig > 0 {
+		want.NBig--
+	}
+	return g.P.Clamp(want)
+}
+
+// Observe forwards to the inner decider when it learns online.
+func (g *ThermalGovernor) Observe(prev control.State, chosen soc.Config, r soc.Result, next control.State) {
+	if ob, okObs := g.Inner.(control.Observer); okObs {
+		ob.Observe(prev, chosen, r, next)
+	}
+}

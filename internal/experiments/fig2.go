@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"socrm/internal/gpu"
+	"socrm/internal/nmpc"
+	"socrm/internal/workload"
+)
+
+// Fig2 reproduces the frame-time prediction experiment of Figure 2: the
+// Nenamark2-like trace runs on the iGPU model under the stock governor (so
+// the frequency changes at runtime), while the adaptive RLS model predicts
+// each frame's processing time one step ahead. The paper reports tracking
+// within 5% error across operating-frequency changes.
+func Fig2(seed int64) nmpc.Fig2Result {
+	dev := gpu.NewIntelGen9()
+	trace := workload.Nenamark2(30, seed)
+	return nmpc.RunFrameTimeExperiment(dev, trace, 60)
+}

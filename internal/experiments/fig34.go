@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"socrm/internal/control"
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// AccuracyPoint is one sample of the Figure 3 convergence trace.
+type AccuracyPoint struct {
+	Time     float64 // seconds of workload execution
+	Accuracy float64 // smoothed agreement with the Oracle, percent
+}
+
+// Fig3Result is the online-IL vs RL convergence comparison on the unseen
+// Cortex+PARSEC application sequence.
+type Fig3Result struct {
+	IL []AccuracyPoint
+	RL []AccuracyPoint
+
+	ILConvergeTime float64 // first time smoothed IL accuracy >= 95%
+	RLConverged    bool    // whether RL ever reached 95%
+	TotalTime      float64 // length of the sequence under online-IL
+	ILFinalAcc     float64
+	RLFinalAcc     float64
+}
+
+// Fig4Row is one benchmark of Figure 4: energy of each adaptive policy
+// normalized by the Oracle.
+type Fig4Row struct {
+	App   string
+	Group string // "offline" (training suite) or "online" (unseen apps)
+	IL    float64
+	RL    float64
+}
+
+// policyTracker exposes the raw policy decision of an adaptive controller
+// (not the executed configuration) for Oracle-agreement tracking.
+type policyTracker interface {
+	PolicyConfig(st control.State) soc.Config
+}
+
+// accuracyRun executes the sequence under the decider while recording the
+// smoothed policy-vs-Oracle agreement per decision.
+func (s *Study) accuracyRun(seq *workload.Sequence, dec control.Decider, tracker policyTracker, window int) (control.RunResult, []AccuracyPoint) {
+	// Per-snippet Oracle configurations for the whole sequence.
+	oracleCfg := make([]soc.Config, 0, seq.Len())
+	for _, app := range seq.Apps {
+		for _, l := range s.labels[app.Name] {
+			oracleCfg = append(oracleCfg, l.Cfg)
+		}
+	}
+	var pts []AccuracyPoint
+	var hits []float64
+	run := control.RunWithHook(s.P, seq, dec, s.defaultStart(), func(st control.State, _ soc.Config) {
+		target := oracleCfg[st.Snippet+1]
+		pol := tracker.PolicyConfig(st)
+		hits = append(hits, knobAgreement(pol, target))
+		lo := len(hits) - window
+		if lo < 0 {
+			lo = 0
+		}
+		sum := 0.0
+		for _, v := range hits[lo:] {
+			sum += v
+		}
+		pts = append(pts, AccuracyPoint{Accuracy: 100 * sum / float64(len(hits)-lo)})
+	})
+	// Fill in the time axis now that per-snippet times are known: the
+	// decision after snippet i happens at the end of snippet i.
+	cum := 0.0
+	for i := range pts {
+		cum += run.PerSnippetTime[i]
+		pts[i].Time = cum
+	}
+	return run, pts
+}
+
+// Fig3 reproduces the convergence comparison: both policies were trained
+// offline on Mi-Bench; the sequence is the four Cortex-like apps followed
+// by the two PARSEC-like apps. The paper reports online-IL converging to
+// ~100% Oracle agreement within ~6 s (4% of the sequence) while RL never
+// converges.
+func (s *Study) Fig3() Fig3Result {
+	const window = 10
+	seq := workload.NewSequence(append(append([]workload.Application{}, s.Cortex...), s.Parsec...)...)
+
+	oil := s.FreshOnlineIL()
+	ilRun, ilPts := s.accuracyRun(seq, oil, oil, window)
+
+	qt := s.FreshQTable(6)
+	_, rlPts := s.accuracyRun(seq, qt, qt, window)
+
+	res := Fig3Result{IL: ilPts, RL: rlPts, TotalTime: ilRun.Time}
+	res.ILConvergeTime = -1
+	for _, p := range ilPts {
+		if p.Accuracy >= 95 {
+			res.ILConvergeTime = p.Time
+			break
+		}
+	}
+	for _, p := range rlPts {
+		if p.Accuracy >= 95 {
+			res.RLConverged = true
+			break
+		}
+	}
+	if n := len(ilPts); n > 0 {
+		res.ILFinalAcc = ilPts[n-1].Accuracy
+	}
+	if n := len(rlPts); n > 0 {
+		res.RLFinalAcc = rlPts[n-1].Accuracy
+	}
+	return res
+}
+
+// Fig4 reproduces the per-benchmark energy comparison. The "offline" group
+// replays the training suite; the "online" group is the unseen
+// Cortex+PARSEC sequence of Figure 3. Energy is accumulated per
+// application during the sequence runs and normalized by the per-app
+// Oracle energy.
+func (s *Study) Fig4() []Fig4Row {
+	offline := workload.NewSequence(s.MiBench...)
+	online := workload.NewSequence(append(append([]workload.Application{}, s.Cortex...), s.Parsec...)...)
+
+	rows := make([]Fig4Row, 0, 16)
+	collect := func(seq *workload.Sequence, group string, ilRun, rlRun control.RunResult) {
+		ilPer := ilRun.PerAppEnergy(len(seq.Apps))
+		rlPer := rlRun.PerAppEnergy(len(seq.Apps))
+		for i, app := range seq.Apps {
+			orc := s.OracleEnergy(app.Name)
+			rows = append(rows, Fig4Row{
+				App:   app.Name,
+				Group: group,
+				IL:    ilPer[i] / orc,
+				RL:    rlPer[i] / orc,
+			})
+		}
+	}
+
+	ilOff := control.Run(s.P, offline, s.FreshOnlineIL(), s.defaultStart())
+	rlOff := control.Run(s.P, offline, s.FreshQTable(6), s.defaultStart())
+	collect(offline, "offline", ilOff, rlOff)
+
+	ilOn := control.Run(s.P, online, s.FreshOnlineIL(), s.defaultStart())
+	rlOn := control.Run(s.P, online, s.FreshQTable(6), s.defaultStart())
+	collect(online, "online", ilOn, rlOn)
+
+	return rows
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"socrm/internal/control"
+	"socrm/internal/workload"
+)
+
+// TestOnlineILRobustToCounterNoise is the failure-injection study: with 3%
+// relative noise on every counter and power reading (a realistic PMU /
+// power-sensor error level), the model-guided online-IL loop must still
+// land near the Oracle on the unseen sequence. The analytical models see
+// noisy targets, the aggregation buffer sees noisy features — the method
+// has to average it out, as it must on hardware.
+func TestOnlineILRobustToCounterNoise(t *testing.T) {
+	s := smallStudy(t)
+	seq := workload.NewSequence(append(append([]workload.Application{}, s.Cortex...), s.Parsec...)...)
+	var orcE float64
+	for _, app := range seq.Apps {
+		orcE += s.OracleEnergy(app.Name)
+	}
+
+	oil := s.FreshOnlineIL()
+	noisy := control.NewNoisyDecider(oil, 0.03, 911)
+	run := control.Run(s.P, seq, noisy, s.P.MaxPerfConfig())
+	ratio := run.Energy / orcE
+	if ratio > 1.10 {
+		t.Fatalf("online-IL under 3%% counter noise at %.3fx Oracle, want <= 1.10x", ratio)
+	}
+}
+
+// TestOnlineILDegradesGracefully checks that heavy noise hurts but does
+// not destabilize: 15% counter noise may cost energy, yet the loop must
+// not spiral into pathological configurations.
+func TestOnlineILDegradesGracefully(t *testing.T) {
+	s := smallStudy(t)
+	app := s.Cortex[0]
+	seq := workload.NewSequence(app)
+	orcE := s.OracleEnergy(app.Name)
+
+	oil := s.FreshOnlineIL()
+	noisy := control.NewNoisyDecider(oil, 0.15, 913)
+	run := control.Run(s.P, seq, noisy, s.P.MaxPerfConfig())
+	ratio := run.Energy / orcE
+	if ratio > 1.5 {
+		t.Fatalf("online-IL under 15%% noise at %.3fx Oracle — destabilized", ratio)
+	}
+}

@@ -1,0 +1,211 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the simulated substrates: Figure 2 (online frame-time
+// modeling), Table II (offline-IL generalization gap), Figures 3-4
+// (online-IL vs RL convergence and energy), and Figure 5 (explicit NMPC
+// energy savings). cmd/socrepro, the benchmarks in bench_test.go and the
+// integration tests all drive this package.
+package experiments
+
+import (
+	"fmt"
+
+	"socrm/internal/control"
+	"socrm/internal/il"
+	"socrm/internal/oracle"
+	"socrm/internal/regtree"
+	"socrm/internal/rl"
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// Options sizes a study. The defaults reproduce the paper-scale runs; tests
+// shrink MaxSnippets to keep runtimes low.
+type Options struct {
+	Seed        int64
+	MaxSnippets int // per-app snippet cap, 0 = full length
+}
+
+// DefaultOptions returns the paper-scale configuration.
+func DefaultOptions() Options { return Options{Seed: 42} }
+
+// Study holds the shared expensive assets of the CPU-side experiments:
+// the platform, the Oracle labels of all sixteen applications, and the
+// offline-trained IL policy.
+type Study struct {
+	Opt     Options
+	P       *soc.Platform
+	Orc     *oracle.Oracle
+	MiBench []workload.Application
+	Cortex  []workload.Application
+	Parsec  []workload.Application
+
+	labels     map[string][]oracle.Label
+	dataset    il.Dataset
+	policy     *il.MLPPolicy
+	treePolicy *il.TreePolicy
+}
+
+// NewStudy builds the study: generates the suites, computes Oracle labels
+// for every application, and trains the offline IL policy on the
+// Mi-Bench-like suite only (the paper's design-time setup).
+func NewStudy(opt Options) (*Study, error) {
+	s := &Study{
+		Opt:     opt,
+		P:       soc.NewXU3(),
+		MiBench: truncate(workload.MiBench(opt.Seed), opt.MaxSnippets),
+		Cortex:  truncate(workload.Cortex(opt.Seed), opt.MaxSnippets),
+		Parsec:  truncate(workload.Parsec(opt.Seed), opt.MaxSnippets),
+		labels:  map[string][]oracle.Label{},
+	}
+	s.Orc = oracle.New(s.P, oracle.Energy)
+	for _, app := range s.allApps() {
+		s.labels[app.Name] = s.Orc.LabelApp(app)
+	}
+	for _, app := range s.MiBench {
+		il.AppendDataset(&s.dataset, s.P, app, s.labels[app.Name])
+	}
+	pol, err := il.TrainMLPPolicy(s.P, s.dataset, il.DefaultMLPOptions())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: offline policy training: %w", err)
+	}
+	s.policy = pol
+	tree, err := il.TrainTreePolicy(s.P, s.dataset, regtree.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: offline tree policy training: %w", err)
+	}
+	s.treePolicy = tree
+	return s, nil
+}
+
+// OfflineTreePolicy returns the frozen regression-tree policy of refs
+// [18][19] — the Table II configuration.
+func (s *Study) OfflineTreePolicy() *il.TreePolicy { return s.treePolicy }
+
+func truncate(apps []workload.Application, n int) []workload.Application {
+	if n <= 0 {
+		return apps
+	}
+	out := make([]workload.Application, len(apps))
+	for i, a := range apps {
+		out[i] = a
+		if len(a.Snippets) > n {
+			out[i].Snippets = a.Snippets[:n]
+		}
+	}
+	return out
+}
+
+func (s *Study) allApps() []workload.Application {
+	var out []workload.Application
+	out = append(out, s.MiBench...)
+	out = append(out, s.Cortex...)
+	out = append(out, s.Parsec...)
+	return out
+}
+
+// Labels returns the cached Oracle labels of an application.
+func (s *Study) Labels(name string) []oracle.Label { return s.labels[name] }
+
+// OracleEnergy returns the Oracle's total energy for an application — the
+// normalizer of Table II and Figure 4.
+func (s *Study) OracleEnergy(name string) float64 {
+	total := 0.0
+	for _, l := range s.labels[name] {
+		total += l.Res.Energy
+	}
+	return total
+}
+
+// OfflinePolicy returns the frozen Mi-Bench-trained policy.
+func (s *Study) OfflinePolicy() *il.MLPPolicy { return s.policy }
+
+// FreshModels returns warm-started online models, reproducing the paper's
+// offline model construction before each deployment: the design-time
+// applications plus the platform-characterization sweep (which identifies
+// the memory-wall and branch-penalty slopes that compute-bound suites
+// cannot excite).
+func (s *Study) FreshModels() *il.OnlineModels {
+	m := il.NewOnlineModels(s.P)
+	apps := append(append([]workload.Application{}, s.MiBench...), workload.Calibration())
+	m.WarmStart(apps, il.WarmStartConfigs(s.P))
+	return m
+}
+
+// FreshOnlineIL returns an online-IL controller bootstrapped from the
+// offline policy and warm models.
+func (s *Study) FreshOnlineIL() *il.OnlineIL {
+	return il.NewOnlineIL(s.P, s.policy.Clone(), s.FreshModels())
+}
+
+// FreshDQN returns the deep-Q baseline pretrained on the Mi-Bench suite
+// for the given number of passes, matching the "both policies are trained
+// offline with Mi-Bench applications" setup of Figure 3.
+func (s *Study) FreshDQN(pretrainPasses int) *rl.DQN {
+	d := rl.NewDQN(s.P, s.policy.Scaler, s.Opt.Seed+17)
+	seq := workload.NewSequence(s.MiBench...)
+	start := s.defaultStart()
+	for e := 0; e < pretrainPasses; e++ {
+		control.Run(s.P, seq, d, start)
+	}
+	// Deployment: keep some exploration (RL cannot learn without it — the
+	// very liability the paper highlights).
+	d.Epsilon = 0.10
+	return d
+}
+
+// FreshQTable returns the table-based Q-learning baseline pretrained on the
+// Mi-Bench suite. The Figure 3/4 comparison uses this learner: its
+// per-state updates adapt faster than the deep-Q variant on short
+// sequences, which makes it the *stronger* RL baseline here — and it still
+// fails to converge, which is the paper's point.
+func (s *Study) FreshQTable(pretrainPasses int) *rl.QTable {
+	q := rl.NewQTable(s.P, s.Opt.Seed+23)
+	seq := workload.NewSequence(s.MiBench...)
+	start := s.defaultStart()
+	for e := 0; e < pretrainPasses; e++ {
+		// Decaying exploration schedule over the design-time episodes.
+		q.Epsilon = 0.4 / float64(e+1)
+		control.Run(s.P, seq, q, start)
+	}
+	q.Epsilon = 0.05
+	return q
+}
+
+// defaultStart is the neutral boot configuration all runs start from.
+func (s *Study) defaultStart() soc.Config {
+	return soc.Config{
+		LittleFreqIdx: len(s.P.LittleOPPs) / 2,
+		BigFreqIdx:    len(s.P.BigOPPs) / 2,
+		NLittle:       4,
+		NBig:          2,
+	}
+}
+
+// knobAgreement is the Figure 3 accuracy criterion: the fraction of the
+// four control knobs on which the policy matches the Oracle — frequencies
+// within one OPP (100 MHz), core counts exactly. A policy that has truly
+// converged scores 1.0; one stuck in the wrong operating regime hovers
+// around the fraction of knobs it gets right by coincidence.
+func knobAgreement(pol, orc soc.Config) float64 {
+	score := 0.0
+	near := func(a, b int) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1
+	}
+	if near(pol.BigFreqIdx, orc.BigFreqIdx) {
+		score++
+	}
+	if near(pol.LittleFreqIdx, orc.LittleFreqIdx) {
+		score++
+	}
+	if pol.NLittle == orc.NLittle {
+		score++
+	}
+	if pol.NBig == orc.NBig {
+		score++
+	}
+	return score / 4
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"socrm/internal/control"
+	"socrm/internal/il"
+	"socrm/internal/workload"
+)
+
+// Table2Row is one column of the paper's Table II: the energy of the
+// offline-trained IL policy on an application, normalized by the Oracle.
+type Table2Row struct {
+	App        string
+	Suite      string
+	NormEnergy float64
+}
+
+// table2Apps lists the applications the paper's Table II reports, with the
+// paper's abbreviated labels.
+var table2Apps = []struct{ name, label string }{
+	{"BML", "BML"},
+	{"Dijkstra", "Djkstr"},
+	{"FFT", "FFT"},
+	{"Qsort", "Qsort"},
+	{"MotionEst", "MtnEst"},
+	{"Spectral", "Spctrl"},
+	{"Kmeans", "Kmns"},
+	{"Blkschls-2T", "Blkschls2T"},
+	{"Blkschls-4T", "Blkschls4T"},
+}
+
+// Table2 runs the frozen Mi-Bench-trained regression-tree policy (the
+// offline-IL configuration of refs [18][19]) on each Table II application.
+// The expected shape: ~1.00 on the training suite, a modest gap on
+// Cortex-like apps and a large one on the memory-bound and multi-threaded
+// outliers (the paper reports up to 1.86x).
+func (s *Study) Table2() []Table2Row {
+	dec := &il.OfflineDecider{P: s.P, Policy: s.treePolicy}
+	var rows []Table2Row
+	for _, spec := range table2Apps {
+		app := s.appByName(spec.name)
+		seq := workload.NewSequence(app)
+		run := control.Run(s.P, seq, dec, s.defaultStart())
+		rows = append(rows, Table2Row{
+			App:        spec.label,
+			Suite:      app.Suite,
+			NormEnergy: run.Energy / s.OracleEnergy(app.Name),
+		})
+	}
+	return rows
+}
+
+func (s *Study) appByName(name string) workload.Application {
+	for _, a := range s.allApps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic("experiments: unknown application " + name)
+}

@@ -1,0 +1,142 @@
+// Package governor implements the heuristic frequency governors the paper's
+// introduction cites as the state of practice (ref [4], the Linux ondemand
+// and interactive governors), plus the trivial performance / powersave /
+// userspace policies. They plug into the same control loop as the learned
+// policies and serve as additional baselines in the extended benchmarks.
+package governor
+
+import (
+	"socrm/internal/control"
+	"socrm/internal/soc"
+)
+
+// busyness is the governor's utilization proxy. The classic governors act
+// on CPU idle time; in a snippet-driven run the analogue is how far the
+// cluster is from retiring at its no-stall rate, so we blend core
+// occupancy with the IPC headroom.
+func busyness(st control.State) float64 {
+	occ := st.Derived.BigUtil
+	if occ == 0 {
+		occ = st.Derived.LittleUtil
+	}
+	ipcLoad := st.Derived.IPC / 2 // 2 IPC ~ fully fed pipeline
+	if ipcLoad > 1 {
+		ipcLoad = 1
+	}
+	b := 0.5*occ + 0.5*(1-ipcLoad) // stalled pipelines look busy to ondemand
+	if b > 1 {
+		b = 1
+	}
+	return b
+}
+
+// Ondemand jumps to maximum frequency above the up-threshold and scales
+// proportionally below it, as the Linux governor does (ref [4]).
+type Ondemand struct {
+	P           *soc.Platform
+	UpThreshold float64 // default 0.8
+}
+
+// NewOndemand returns the governor with the Linux default threshold.
+func NewOndemand(p *soc.Platform) *Ondemand {
+	return &Ondemand{P: p, UpThreshold: 0.8}
+}
+
+// Name implements control.Decider.
+func (g *Ondemand) Name() string { return "ondemand" }
+
+// Decide implements control.Decider. Core counts are left at maximum: the
+// stock governor only manages frequency.
+func (g *Ondemand) Decide(st control.State) soc.Config {
+	b := busyness(st)
+	nb := len(g.P.BigOPPs)
+	nl := len(g.P.LittleOPPs)
+	cfg := soc.Config{NLittle: 4, NBig: 4}
+	if b >= g.UpThreshold {
+		cfg.BigFreqIdx = nb - 1
+		cfg.LittleFreqIdx = nl - 1
+	} else {
+		cfg.BigFreqIdx = int(b / g.UpThreshold * float64(nb-1))
+		cfg.LittleFreqIdx = int(b / g.UpThreshold * float64(nl-1))
+	}
+	return g.P.Clamp(cfg)
+}
+
+// Interactive ramps quickly on load and decays slowly, approximating the
+// Android interactive governor's hispeed behaviour.
+type Interactive struct {
+	P           *soc.Platform
+	HispeedLoad float64
+	HispeedIdx  int // frequency index jumped to on hispeed load
+	StepDown    int
+	cur         soc.Config
+	initialized bool
+}
+
+// NewInteractive returns the governor with typical Android tuning.
+func NewInteractive(p *soc.Platform) *Interactive {
+	return &Interactive{
+		P:           p,
+		HispeedLoad: 0.85,
+		HispeedIdx:  (len(p.BigOPPs) - 1) * 3 / 4,
+		StepDown:    1,
+	}
+}
+
+// Name implements control.Decider.
+func (g *Interactive) Name() string { return "interactive" }
+
+// Decide implements control.Decider.
+func (g *Interactive) Decide(st control.State) soc.Config {
+	if !g.initialized {
+		g.cur = st.Config
+		g.cur.NBig, g.cur.NLittle = 4, 4
+		g.initialized = true
+	}
+	b := busyness(st)
+	switch {
+	case b >= g.HispeedLoad:
+		if g.cur.BigFreqIdx < g.HispeedIdx {
+			g.cur.BigFreqIdx = g.HispeedIdx
+		} else {
+			g.cur.BigFreqIdx++
+		}
+		g.cur.LittleFreqIdx++
+	case b < 0.5:
+		g.cur.BigFreqIdx -= g.StepDown
+		g.cur.LittleFreqIdx -= g.StepDown
+	}
+	g.cur = g.P.Clamp(g.cur)
+	return g.cur
+}
+
+// Performance pins everything at maximum.
+type Performance struct{ P *soc.Platform }
+
+// Name implements control.Decider.
+func (g Performance) Name() string { return "performance" }
+
+// Decide implements control.Decider.
+func (g Performance) Decide(control.State) soc.Config { return g.P.MaxPerfConfig() }
+
+// Powersave pins everything at minimum.
+type Powersave struct{ P *soc.Platform }
+
+// Name implements control.Decider.
+func (g Powersave) Name() string { return "powersave" }
+
+// Decide implements control.Decider.
+func (g Powersave) Decide(control.State) soc.Config { return g.P.MinPowerConfig() }
+
+// Userspace holds whatever configuration it was given, emulating manual
+// control through sysfs.
+type Userspace struct {
+	P   *soc.Platform
+	Cfg soc.Config
+}
+
+// Name implements control.Decider.
+func (g Userspace) Name() string { return "userspace" }
+
+// Decide implements control.Decider.
+func (g Userspace) Decide(control.State) soc.Config { return g.P.Clamp(g.Cfg) }

@@ -1,0 +1,295 @@
+// Package il implements the paper's imitation-learning pipeline: offline
+// Oracle-supervised policy construction (Section IV-A1, refs [18][19]) and
+// the model-guided online-IL methodology of Section IV-A3 (ref [13]) that
+// adapts the policy to applications unseen at design time.
+package il
+
+import (
+	"socrm/internal/control"
+	"socrm/internal/rls"
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// OnlineModels are the adaptive analytical power and performance models of
+// Section III that supervise the online-IL policy. They have physical
+// structure with learned coefficients:
+//
+//   - Per-cluster CPI models, linear in [1, missesPerInstr*f, branchMPKI]:
+//     the intercept tracks the workload's base CPI (and adapts with the
+//     forgetting factor when the application changes) while the slopes
+//     converge to platform constants (memory latency, branch penalty).
+//   - A chip power model, linear in physically motivated V^2*f terms per
+//     cluster, leakage terms and external memory bandwidth.
+//
+// As the paper notes, the counters observed at the current configuration
+// are reused to estimate the energy of *other* candidate configurations.
+type OnlineModels struct {
+	P         *soc.Platform
+	CPIBig    *rls.RLS
+	CPILittle *rls.RLS
+	Power     *rls.RLS
+
+	// AdaptInterceptOnly freezes the CPI slopes (platform constants such
+	// as memory latency and branch penalty, identified at design time with
+	// rich excitation) and adapts only the workload-dependent intercept at
+	// runtime. Full-RLS online updates are kept selectable for the
+	// forgetting-factor ablation: with the narrow feature excitation of a
+	// settled controller they let the slopes drift, which is the
+	// instability STAFF (ref [30]) exists to stabilize.
+	AdaptInterceptOnly bool
+	// InterceptGain is the EW-average step of the intercept adaptation.
+	InterceptGain float64
+}
+
+// Model feature dimensions.
+const (
+	cpiDim   = 3
+	powerDim = 10
+)
+
+// NewOnlineModels returns untrained models; call WarmStart to reproduce the
+// paper's design-time bootstrapping.
+func NewOnlineModels(p *soc.Platform) *OnlineModels {
+	return &OnlineModels{
+		P:             p,
+		CPIBig:        rls.New(cpiDim, 0.95, 100),
+		CPILittle:     rls.New(cpiDim, 0.95, 100),
+		Power:         rls.New(powerDim, 0.995, 100),
+		InterceptGain: 0.7,
+	}
+}
+
+// rates are the workload quantities directly observable from Table I
+// counters.
+type rates struct {
+	missPerInstr float64 // L2 misses per instruction
+	brMPKI       float64
+	instr        float64
+	threads      int
+}
+
+func ratesOf(st control.State) rates {
+	instr := st.Counters.InstructionsRetired
+	r := rates{instr: instr, threads: st.Threads}
+	if instr > 0 {
+		r.missPerInstr = st.Counters.L2Misses / instr
+		r.brMPKI = 1000 * st.Counters.BranchMissPredPC *
+			float64(activeCores(st)) / instr
+	}
+	return r
+}
+
+func activeCores(st control.State) int {
+	ub, ul := soc.Placement(st.Threads, st.Config)
+	return ub + ul
+}
+
+func cpiFeatures(missPerInstr, fGHz, brMPKI float64) []float64 {
+	return []float64{1, missPerInstr * fGHz, brMPKI}
+}
+
+// predictCPI returns per-core CPI predictions for both clusters at the
+// candidate frequencies.
+func (m *OnlineModels) predictCPI(r rates, flGHz, fbGHz float64) (cpiBig, cpiLittle float64) {
+	cpiBig = m.CPIBig.Predict(cpiFeatures(r.missPerInstr, fbGHz, r.brMPKI))
+	cpiLittle = m.CPILittle.Predict(cpiFeatures(r.missPerInstr, flGHz, r.brMPKI))
+	// Guard against early-training pathologies: CPI below a physical floor
+	// would make a candidate look impossibly fast.
+	if cpiBig < 0.3 {
+		cpiBig = 0.3
+	}
+	if cpiLittle < 0.5 {
+		cpiLittle = 0.5
+	}
+	return cpiBig, cpiLittle
+}
+
+// powerFeatures builds the linear power-model input for a candidate
+// configuration given observed workload rates. stallFrac terms let the
+// model express reduced switching activity while memory stalled.
+func (m *OnlineModels) powerFeatures(r rates, c soc.Config, cpiBig, cpiLittle, extBWGBs float64) []float64 {
+	lo := m.P.LittleOPPs[c.LittleFreqIdx]
+	bo := m.P.BigOPPs[c.BigFreqIdx]
+	fl, fb := lo.FreqMHz/1000, bo.FreqMHz/1000
+	ub, ul := soc.Placement(r.threads, c)
+	stallB := r.missPerInstr * m.P.MemLatencyNS * fb / cpiBig
+	stallL := r.missPerInstr * m.P.MemLatencyNS * fl / cpiLittle
+	vb2fb := bo.Volt * bo.Volt * fb
+	vl2fl := lo.Volt * lo.Volt * fl
+	return []float64{
+		vb2fb * float64(ub),
+		vb2fb * float64(ub) * stallB,
+		vb2fb * float64(c.NBig-ub),
+		vl2fl * float64(ul),
+		vl2fl * float64(ul) * stallL,
+		vl2fl * float64(c.NLittle-ul),
+		bo.Volt * bo.Volt * float64(c.NBig),
+		lo.Volt * lo.Volt * float64(c.NLittle),
+		1,
+		extBWGBs,
+	}
+}
+
+// Prediction is the models' estimate for executing the current workload
+// phase under a candidate configuration.
+type Prediction struct {
+	Time   float64
+	Power  float64
+	Energy float64
+}
+
+// Predict estimates time, power and energy of running the observed
+// workload phase under candidate configuration c, reusing the counters of
+// the current configuration as the paper prescribes.
+func (m *OnlineModels) Predict(st control.State, c soc.Config) Prediction {
+	r := ratesOf(st)
+	c = m.P.Clamp(c)
+	lo := m.P.LittleOPPs[c.LittleFreqIdx]
+	bo := m.P.BigOPPs[c.BigFreqIdx]
+	fl, fb := lo.FreqMHz/1000, bo.FreqMHz/1000
+	cpiB, cpiL := m.predictCPI(r, fl, fb)
+	ub, ul := soc.Placement(r.threads, c)
+	ips := float64(ub)*fb*1e9/cpiB + float64(ul)*fl*1e9/cpiL
+	if ips <= 0 {
+		return Prediction{Time: 1e9, Power: 1e9, Energy: 1e18}
+	}
+	t := r.instr / ips
+	extBW := r.missPerInstr * r.instr * m.P.CacheLineB / t / 1e9
+	p := m.Power.Predict(m.powerFeatures(r, c, cpiB, cpiL, extBW))
+	const minPower = 0.05 // a live chip never draws less than this
+	if p < minPower {
+		p = minPower
+	}
+	return Prediction{Time: t, Power: p, Energy: p * t}
+}
+
+// Update adapts the models with the outcome of an executed snippet: st must
+// be the post-execution state (counters produced by running st.Config).
+func (m *OnlineModels) Update(st control.State) {
+	m.updateCPIFrom(st)
+	m.updatePowerFrom(st)
+}
+
+// updateCPIFrom applies the per-cluster CPI updates; only placements that
+// isolate a cluster update it, so the aggregate cycle counter attributes
+// cleanly.
+func (m *OnlineModels) updateCPIFrom(st control.State) {
+	r := ratesOf(st)
+	if r.instr <= 0 {
+		return
+	}
+	c := st.Config
+	fl := m.P.LittleOPPs[c.LittleFreqIdx].FreqMHz / 1000
+	fb := m.P.BigOPPs[c.BigFreqIdx].FreqMHz / 1000
+	ub, ul := soc.Placement(r.threads, c)
+	cpiObs := st.Counters.CPUCycles / r.instr
+	switch {
+	case ub > 0 && ul == 0:
+		m.updateCPI(m.CPIBig, cpiFeatures(r.missPerInstr, fb, r.brMPKI), cpiObs)
+	case ul > 0 && ub == 0:
+		m.updateCPI(m.CPILittle, cpiFeatures(r.missPerInstr, fl, r.brMPKI), cpiObs)
+	}
+}
+
+// updatePowerFrom applies the power-model update. It uses the CPI models
+// for the stall-activity features, so it should only run once those are
+// reasonable (WarmStart orders the passes accordingly).
+func (m *OnlineModels) updatePowerFrom(st control.State) {
+	r := ratesOf(st)
+	if r.instr <= 0 {
+		return
+	}
+	c := st.Config
+	fl := m.P.LittleOPPs[c.LittleFreqIdx].FreqMHz / 1000
+	fb := m.P.BigOPPs[c.BigFreqIdx].FreqMHz / 1000
+	ub, ul := soc.Placement(r.threads, c)
+	cpiB, cpiL := m.predictCPI(r, fl, fb)
+	t := st.Counters.CPUCycles / (float64(ub)*fb + float64(ul)*fl) / 1e9
+	if t <= 0 {
+		return
+	}
+	extBW := r.missPerInstr * r.instr * m.P.CacheLineB / t / 1e9
+	m.Power.Update(m.powerFeatures(r, c, cpiB, cpiL, extBW), st.Counters.ChipPower)
+}
+
+// updateCPI applies either the full RLS update or the intercept-only
+// adaptation, depending on AdaptInterceptOnly.
+func (m *OnlineModels) updateCPI(model *rls.RLS, x []float64, target float64) {
+	if !m.AdaptInterceptOnly {
+		model.Update(x, target)
+		return
+	}
+	// Residual after the frozen slope terms is the workload intercept.
+	slopePart := 0.0
+	for i := 1; i < len(x); i++ {
+		slopePart += model.W[i] * x[i]
+	}
+	resid := target - slopePart
+	model.W[0] += m.InterceptGain * (resid - model.W[0])
+}
+
+// WarmStart reproduces the paper's offline model construction: it executes
+// the design-time applications across a spread of configurations and feeds
+// every outcome through Update. The power-model coefficients are platform
+// constants, so they transfer to unseen applications; the CPI intercepts
+// are workload state that the forgetting factor re-learns online.
+func (m *OnlineModels) WarmStart(apps []workload.Application, configs []soc.Config) {
+	m.AdaptInterceptOnly = false // rich design-time excitation: full RLS
+	// Design-time identification runs without forgetting: with the
+	// deployment forgetting factor the estimator would remember only the
+	// last ~1/(1-lambda) samples of the sweep and the platform slopes
+	// would be biased by whatever workload happened to come last.
+	cpiBigLam, cpiLitLam, powLam := m.CPIBig.Lambda, m.CPILittle.Lambda, m.Power.Lambda
+	m.CPIBig.Lambda, m.CPILittle.Lambda, m.Power.Lambda = 1, 1, 1
+	// Two passes: the power model's activity features are derived from the
+	// CPI models, so CPI is identified completely before any power sample
+	// is taken (a power fit fed through untrained CPI models would keep
+	// that corruption forever under lambda = 1).
+	feed := func(sn workload.Snippet, c soc.Config, update func(control.State)) {
+		res := m.P.Execute(sn, c)
+		update(control.State{
+			Counters: res.Counters,
+			Derived:  res.Counters.Derived(),
+			Config:   c,
+			Threads:  sn.Threads,
+		})
+	}
+	for _, update := range []func(control.State){m.updateCPIFrom, m.updatePowerFrom} {
+		for _, app := range apps {
+			if app.Suite == "calibration" {
+				// The characterization sweep runs the full cross product
+				// so every model feature (idle cores, both clusters, the
+				// whole V-f range) is excited against every workload
+				// point.
+				for _, sn := range app.Snippets {
+					for _, c := range configs {
+						feed(sn, c, update)
+					}
+				}
+				continue
+			}
+			for i, sn := range app.Snippets {
+				feed(sn, configs[i%len(configs)], update)
+			}
+		}
+	}
+	m.CPIBig.Lambda, m.CPILittle.Lambda, m.Power.Lambda = cpiBigLam, cpiLitLam, powLam
+	m.AdaptInterceptOnly = true // deployment: adapt the workload intercept
+}
+
+// WarmStartConfigs returns a spread of configurations that excites every
+// power-model feature: both clusters, several frequencies and core counts.
+func WarmStartConfigs(p *soc.Platform) []soc.Config {
+	var out []soc.Config
+	nl := len(p.LittleOPPs)
+	nb := len(p.BigOPPs)
+	for _, lf := range []int{0, nl / 2, nl - 1} {
+		for _, bf := range []int{0, nb / 2, nb - 1} {
+			for _, cores := range []struct{ l, b int }{{1, 0}, {4, 0}, {1, 1}, {1, 4}, {4, 4}, {2, 2}} {
+				out = append(out, soc.Config{LittleFreqIdx: lf, BigFreqIdx: bf, NLittle: cores.l, NBig: cores.b})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package il
+
+import (
+	"socrm/internal/control"
+	"socrm/internal/soc"
+)
+
+// OnlineIL is the model-guided online imitation learner of Section IV-A3
+// (ref [13]). Before every decision it evaluates the candidate
+// configurations in a local neighborhood of the current configuration with
+// the adaptive analytical models; the best candidate becomes (a) the
+// executed configuration and (b) the runtime approximation of the Oracle
+// that supervises the policy. Labeled states aggregate in a bounded buffer
+// and the neural policy is re-trained with back-propagation each time the
+// buffer fills, exactly as the paper describes.
+type OnlineIL struct {
+	P      *soc.Platform
+	Policy *MLPPolicy
+	Models *OnlineModels
+
+	// Radius of the candidate neighborhood in knob space.
+	Radius int
+	// BufferCap is the aggregation-buffer size; the paper reports that
+	// ~100 stored decisions need under 20 KB.
+	BufferCap int
+	// Epochs/LR/Momentum control each incremental policy update.
+	Epochs   int
+	LR       float64
+	Momentum float64
+	// Warmup is the number of initial decisions executed from the policy
+	// alone while the online models settle on the new workload.
+	Warmup int
+
+	bufX, bufY [][]float64
+	decisions  int
+	updates    int
+	seed       int64
+}
+
+// NewOnlineIL wraps an offline-trained policy and warm-started models with
+// the paper's default online-IL hyperparameters.
+func NewOnlineIL(p *soc.Platform, policy *MLPPolicy, models *OnlineModels) *OnlineIL {
+	return &OnlineIL{
+		P:         p,
+		Policy:    policy,
+		Models:    models,
+		Radius:    3,
+		BufferCap: 8,
+		Epochs:    80,
+		LR:        0.02,
+		Momentum:  0.9,
+		Warmup:    2,
+		seed:      101,
+	}
+}
+
+// Name implements control.Decider.
+func (o *OnlineIL) Name() string { return "online-il" }
+
+// PolicyConfig returns what the policy alone would choose — the quantity
+// whose agreement with the Oracle Figure 3 tracks over time.
+func (o *OnlineIL) PolicyConfig(st control.State) soc.Config {
+	return o.Policy.PredictConfig(st.Features(o.P))
+}
+
+// Decide implements control.Decider: model-guided candidate selection plus
+// DAgger-style data aggregation.
+func (o *OnlineIL) Decide(st control.State) soc.Config {
+	o.decisions++
+	polCfg := o.PolicyConfig(st)
+
+	// Candidate set: the local neighborhood of the current configuration,
+	// plus the policy's own suggestion so the learner can be followed once
+	// it is right.
+	cands := o.P.Neighborhood(st.Config, o.Radius)
+	cands = append(cands, polCfg)
+
+	best := cands[0]
+	bestE := o.Models.Predict(st, best).Energy
+	for _, c := range cands[1:] {
+		if e := o.Models.Predict(st, c).Energy; e < bestE {
+			best, bestE = c, e
+		}
+	}
+
+	// Aggregate the model-labeled sample; retrain when the buffer fills.
+	// Transitional decisions — where the candidate argmin sits on the
+	// neighborhood boundary, meaning the true optimum is still outside the
+	// search radius — would teach the policy way-points rather than
+	// destinations, so they are not aggregated.
+	if o.interior(st.Config, best) {
+		o.bufX = append(o.bufX, st.Features(o.P))
+		o.bufY = append(o.bufY, o.P.Features(best))
+	}
+	if len(o.bufX) >= o.BufferCap {
+		o.trainPolicy()
+		o.bufX = o.bufX[:0]
+		o.bufY = o.bufY[:0]
+	}
+
+	if o.decisions <= o.Warmup {
+		return polCfg
+	}
+	return best
+}
+
+// interior reports whether best is strictly inside the search neighborhood
+// of cur on every knob, treating the edges of the configuration domain as
+// interior (an argmin pinned at the lowest frequency is a destination, not
+// a way-point).
+func (o *OnlineIL) interior(cur, best soc.Config) bool {
+	in := func(c, b, lo, hi int) bool {
+		d := c - b
+		if d < 0 {
+			d = -d
+		}
+		return d < o.Radius || b == lo || b == hi
+	}
+	return in(cur.LittleFreqIdx, best.LittleFreqIdx, 0, len(o.P.LittleOPPs)-1) &&
+		in(cur.BigFreqIdx, best.BigFreqIdx, 0, len(o.P.BigOPPs)-1) &&
+		in(cur.NLittle, best.NLittle, 1, 4) &&
+		in(cur.NBig, best.NBig, 0, 4)
+}
+
+func (o *OnlineIL) trainPolicy() {
+	xs := o.Policy.Scaler.TransformAll(o.bufX)
+	o.updates++
+	o.Policy.Net.TrainEpochs(xs, o.bufY, o.Epochs, o.LR, o.Momentum, o.seed+int64(o.updates))
+}
+
+// Updates returns how many incremental policy updates have happened.
+func (o *OnlineIL) Updates() int { return o.updates }
+
+// BufferBytes reports the storage footprint of a full aggregation buffer
+// (the paper's "<20 KB" figure): float64 features plus labels per slot.
+func (o *OnlineIL) BufferBytes() int {
+	return o.BufferCap * (control.NumFeatures + 4) * 8
+}
+
+// Observe implements control.Observer: every executed snippet updates the
+// analytical models with its measured counters and power.
+func (o *OnlineIL) Observe(_ control.State, _ soc.Config, _ soc.Result, next control.State) {
+	o.Models.Update(next)
+}

@@ -1,0 +1,85 @@
+package il
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"socrm/internal/counters"
+	"socrm/internal/mlp"
+	"socrm/internal/regtree"
+	"socrm/internal/soc"
+)
+
+// policyFile is the on-disk format for trained policies: exactly what the
+// offline training flow ships to the on-device governor. Version guards
+// against format drift.
+type policyFile struct {
+	Version int                     `json:"version"`
+	Kind    string                  `json:"kind"` // "mlp" or "tree"
+	Scaler  *counters.Scaler        `json:"scaler"`
+	Net     *mlp.Snapshot           `json:"net,omitempty"`
+	Forest  *regtree.ForestSnapshot `json:"forest,omitempty"`
+}
+
+const policyVersion = 1
+
+// SaveMLPPolicy serializes a neural policy.
+func SaveMLPPolicy(w io.Writer, p *MLPPolicy) error {
+	snap := p.Net.Snapshot()
+	return json.NewEncoder(w).Encode(policyFile{
+		Version: policyVersion,
+		Kind:    "mlp",
+		Scaler:  p.Scaler,
+		Net:     &snap,
+	})
+}
+
+// LoadMLPPolicy reads a neural policy and binds it to a platform.
+func LoadMLPPolicy(r io.Reader, platform *soc.Platform) (*MLPPolicy, error) {
+	var f policyFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("il: decoding policy: %w", err)
+	}
+	if f.Version != policyVersion {
+		return nil, fmt.Errorf("il: policy version %d, want %d", f.Version, policyVersion)
+	}
+	if f.Kind != "mlp" || f.Net == nil {
+		return nil, fmt.Errorf("il: not an MLP policy (kind %q)", f.Kind)
+	}
+	net, err := mlp.FromSnapshot(*f.Net)
+	if err != nil {
+		return nil, err
+	}
+	return &MLPPolicy{Net: net, Scaler: f.Scaler, P: platform}, nil
+}
+
+// SaveTreePolicy serializes a regression-tree policy.
+func SaveTreePolicy(w io.Writer, p *TreePolicy) error {
+	snap := p.Forest.Snapshot()
+	return json.NewEncoder(w).Encode(policyFile{
+		Version: policyVersion,
+		Kind:    "tree",
+		Scaler:  p.Scaler,
+		Forest:  &snap,
+	})
+}
+
+// LoadTreePolicy reads a regression-tree policy and binds it to a platform.
+func LoadTreePolicy(r io.Reader, platform *soc.Platform) (*TreePolicy, error) {
+	var f policyFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("il: decoding policy: %w", err)
+	}
+	if f.Version != policyVersion {
+		return nil, fmt.Errorf("il: policy version %d, want %d", f.Version, policyVersion)
+	}
+	if f.Kind != "tree" || f.Forest == nil {
+		return nil, fmt.Errorf("il: not a tree policy (kind %q)", f.Kind)
+	}
+	forest, err := regtree.ForestFromSnapshot(*f.Forest)
+	if err != nil {
+		return nil, err
+	}
+	return &TreePolicy{Forest: forest, Scaler: f.Scaler, P: platform}, nil
+}

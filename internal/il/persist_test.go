@@ -1,0 +1,87 @@
+package il
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"socrm/internal/oracle"
+	"socrm/internal/regtree"
+	"socrm/internal/soc"
+)
+
+func TestMLPPolicyRoundTrip(t *testing.T) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	ds := BuildDataset(p, orc, shortApps(10))
+	pol, err := TrainMLPPolicy(p, ds, DefaultMLPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveMLPPolicy(&buf, pol); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMLPPolicy(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		if loaded.PredictConfig(ds.X[i]) != pol.PredictConfig(ds.X[i]) {
+			t.Fatalf("loaded policy disagrees on sample %d", i)
+		}
+	}
+}
+
+func TestTreePolicyRoundTrip(t *testing.T) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	ds := BuildDataset(p, orc, shortApps(10))
+	pol, err := TrainTreePolicy(p, ds, regtree.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTreePolicy(&buf, pol); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTreePolicy(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		if loaded.PredictConfig(ds.X[i]) != pol.PredictConfig(ds.X[i]) {
+			t.Fatalf("loaded tree policy disagrees on sample %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	ds := BuildDataset(p, orc, shortApps(8))
+	mlpPol, err := TrainMLPPolicy(p, ds, DefaultMLPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveMLPPolicy(&buf, mlpPol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTreePolicy(&buf, p); err == nil {
+		t.Fatal("loading an MLP file as a tree policy must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	p := soc.NewXU3()
+	if _, err := LoadMLPPolicy(strings.NewReader("not json"), p); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := LoadMLPPolicy(strings.NewReader(`{"version":99,"kind":"mlp"}`), p); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := LoadMLPPolicy(strings.NewReader(`{"version":1,"kind":"mlp"}`), p); err == nil {
+		t.Fatal("expected missing-net error")
+	}
+}

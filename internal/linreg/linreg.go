@@ -1,0 +1,120 @@
+// Package linreg provides batch ordinary and ridge least-squares regression
+// plus polynomial feature maps. The paper's offline model construction
+// (Section IV-A1, refs [18][19]) and the explicit-NMPC surface
+// approximation (Section IV-B, refs [20][21][22]) both reduce to exactly
+// this: fit a simple regression offline, evaluate it in O(features) online.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+
+	"socrm/internal/mathx"
+)
+
+// Model is a fitted linear model y = w'x + b.
+type Model struct {
+	W    []float64
+	Bias float64
+}
+
+// Predict evaluates the model on features x.
+func (m *Model) Predict(x []float64) float64 {
+	return mathx.Dot(m.W, x) + m.Bias
+}
+
+// Fit solves ridge regression min ||Xw - y||^2 + ridge*||w||^2 with an
+// intercept (the intercept is not regularized).
+func Fit(xs [][]float64, ys []float64, ridge float64) (*Model, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("linreg: no samples")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("linreg: %d samples but %d targets", len(xs), len(ys))
+	}
+	d := len(xs[0])
+	// Augment with intercept column; regularize only the first d entries.
+	n := d + 1
+	ata := mathx.NewMatrix(n, n)
+	atb := make([]float64, n)
+	row := make([]float64, n)
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("linreg: ragged sample %d", i)
+		}
+		copy(row, x)
+		row[d] = 1
+		for a := 0; a < n; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			atb[a] += row[a] * ys[i]
+			ra := ata.Row(a)
+			for b := 0; b < n; b++ {
+				ra[b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		ata.Set(a, a, ata.At(a, a)+ridge)
+	}
+	w, err := mathx.Solve(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("linreg: %w", err)
+	}
+	return &Model{W: w[:d], Bias: w[d]}, nil
+}
+
+// MultiModel regresses several targets against shared features.
+type MultiModel struct {
+	Models []*Model
+}
+
+// FitMulti fits one ridge model per output column of ys.
+func FitMulti(xs [][]float64, ys [][]float64, ridge float64) (*MultiModel, error) {
+	if len(ys) == 0 || len(ys[0]) == 0 {
+		return nil, errors.New("linreg: no targets")
+	}
+	k := len(ys[0])
+	mm := &MultiModel{Models: make([]*Model, k)}
+	col := make([]float64, len(ys))
+	for j := 0; j < k; j++ {
+		for i := range ys {
+			col[i] = ys[i][j]
+		}
+		m, err := Fit(xs, col, ridge)
+		if err != nil {
+			return nil, err
+		}
+		mm.Models[j] = m
+	}
+	return mm, nil
+}
+
+// Predict evaluates every output for features x.
+func (mm *MultiModel) Predict(x []float64) []float64 {
+	out := make([]float64, len(mm.Models))
+	for j, m := range mm.Models {
+		out[j] = m.Predict(x)
+	}
+	return out
+}
+
+// PolyFeatures expands x into degree-2 polynomial features: the original
+// terms, all pairwise products, and squares. This is the feature map the
+// explicit-NMPC surface uses; it keeps evaluation cost at a handful of
+// multiplications, cheap enough for firmware.
+func PolyFeatures(x []float64) []float64 {
+	d := len(x)
+	out := make([]float64, 0, d+d*(d+1)/2)
+	out = append(out, x...)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// PolyDim returns len(PolyFeatures(x)) for an input of dimension d.
+func PolyDim(d int) int { return d + d*(d+1)/2 }

@@ -1,0 +1,125 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLine(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	m, err := Fit(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.W[0]-2) > 1e-9 || math.Abs(m.Bias-1) > 1e-9 {
+		t.Fatalf("w=%v b=%v, want 2, 1", m.W[0], m.Bias)
+	}
+}
+
+func TestFitMultivariate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, 1.5*x[0]-2*x[1]+0.25*x[2]+4)
+	}
+	m, err := Fit(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2, 0.25}
+	for i := range want {
+		if math.Abs(m.W[i]-want[i]) > 1e-8 {
+			t.Fatalf("w[%d] = %v, want %v", i, m.W[i], want[i])
+		}
+	}
+	if math.Abs(m.Bias-4) > 1e-8 {
+		t.Fatalf("bias = %v", m.Bias)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{2, 4, 6, 8}
+	m0, _ := Fit(xs, ys, 0)
+	m1, _ := Fit(xs, ys, 100)
+	if math.Abs(m1.W[0]) >= math.Abs(m0.W[0]) {
+		t.Fatalf("ridge did not shrink: %v vs %v", m1.W[0], m0.W[0])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 0); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected error on ragged samples")
+	}
+}
+
+func TestFitMulti(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}}
+	ys := [][]float64{{0, 1}, {2, 2}, {4, 3}} // y0 = 2x, y1 = x+1
+	mm, err := FitMulti(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mm.Predict([]float64{3})
+	if math.Abs(out[0]-6) > 1e-9 || math.Abs(out[1]-4) > 1e-9 {
+		t.Fatalf("multi predict = %v", out)
+	}
+}
+
+func TestPolyFeatures(t *testing.T) {
+	got := PolyFeatures([]float64{2, 3})
+	want := []float64{2, 3, 4, 6, 9} // x0, x1, x0^2, x0x1, x1^2
+	if len(got) != len(want) {
+		t.Fatalf("poly len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("poly[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if PolyDim(2) != 5 {
+		t.Fatalf("PolyDim(2) = %d", PolyDim(2))
+	}
+}
+
+func TestPolyDimMatchesProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		d := int(n%10) + 1
+		x := make([]float64, d)
+		return len(PolyFeatures(x)) == PolyDim(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyFitQuadratic(t *testing.T) {
+	// Fitting y = x^2 exactly with degree-2 features — the explicit-NMPC
+	// surface use case.
+	var xs [][]float64
+	var ys []float64
+	for x := -2.0; x <= 2; x += 0.25 {
+		xs = append(xs, PolyFeatures([]float64{x}))
+		ys = append(ys, x*x)
+	}
+	m, err := Fit(xs, ys, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(PolyFeatures([]float64{1.3}))
+	if math.Abs(pred-1.69) > 1e-6 {
+		t.Fatalf("quadratic fit predicts %v, want 1.69", pred)
+	}
+}

@@ -1,0 +1,192 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixFrom(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d, want 2x2", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewMatrixFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewMatrixFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	i := Identity(3)
+	got := a.Mul(i)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if got.At(r, c) != a.At(r, c) {
+				t.Fatalf("A*I != A at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if got.At(r, c) != want[r][c] {
+				t.Fatalf("(%d,%d) = %v, want %v", r, c, got.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(3, 5)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{4, 3}, {2, 1}})
+	sum := a.Add(b)
+	if sum.At(0, 0) != 5 || sum.At(1, 1) != 5 {
+		t.Fatalf("add wrong: %v", sum.Data)
+	}
+	diff := sum.Sub(b)
+	for i := range a.Data {
+		if diff.Data[i] != a.Data[i] {
+			t.Fatal("a+b-b != a")
+		}
+	}
+	if s := a.Scale(2).At(1, 0); s != 6 {
+		t.Fatalf("scale = %v, want 6", s)
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance guarantees solvability.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+5)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			want := 0.0
+			if r == c {
+				want = 1
+			}
+			if !almostEq(prod.At(r, c), want, 1e-10) {
+				t.Fatalf("A*A^-1 at (%d,%d) = %v", r, c, prod.At(r, c))
+			}
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// SPD matrix built as B*B^T + I.
+	b := NewMatrixFrom([][]float64{{1, 0.5, 0}, {0.2, 2, 0.1}, {0.3, 0.4, 1.5}})
+	a := b.Mul(b.T()).Add(Identity(3))
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := l.Mul(l.T())
+	for i := range a.Data {
+		if !almostEq(rec.Data[i], a.Data[i], 1e-10) {
+			t.Fatalf("L*L^T != A at %d: %v vs %v", i, rec.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{-1, 0}, {0, 1}})
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected not-positive-definite error")
+	}
+}
+
+func TestSpectralRadiusDiagonal(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{0.5, 0}, {0, 0.9}})
+	got := SpectralRadius(a, 200)
+	if !almostEq(got, 0.9, 1e-6) {
+		t.Fatalf("spectral radius = %v, want 0.9", got)
+	}
+}
+
+func TestSpectralRadiusUnstable(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1.2, 0.1}, {0, 0.3}})
+	if got := SpectralRadius(a, 200); got < 1 {
+		t.Fatalf("spectral radius = %v, want > 1", got)
+	}
+}

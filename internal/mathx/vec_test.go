@@ -1,0 +1,113 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("norm = %v, want 5", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	AxpyInPlace(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("axpy = %v", y)
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(x); v != 4 {
+		t.Fatalf("variance = %v", v)
+	}
+	if s := Std(x); s != 2 {
+		t.Fatalf("std = %v", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("clamp wrong")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 {
+		t.Fatal("clampInt wrong")
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	x := []float64{3, 1, 4, 1.5, 9}
+	if ArgMin(x) != 1 {
+		t.Fatalf("argmin = %d", ArgMin(x))
+	}
+	if ArgMax(x) != 4 {
+		t.Fatalf("argmax = %d", ArgMax(x))
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("empty should be -1")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if !almostEq(got, 0.1, 1e-12) {
+		t.Fatalf("mape = %v, want 0.1", got)
+	}
+	// Zero targets are skipped.
+	if MAPE([]float64{1}, []float64{0}) != 0 {
+		t.Fatal("zero targets should be skipped")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got := RMSE([]float64{1, 2}, []float64{1, 4})
+	if !almostEq(got, math.Sqrt(2), 1e-12) {
+		t.Fatalf("rmse = %v", got)
+	}
+}
+
+func TestVecOpsProperties(t *testing.T) {
+	// Sub(Add(x, y), y) == x and Scale distributes over Dot.
+	f := func(a0, b0, c0 float64) bool {
+		// Bound magnitudes so products stay finite.
+		a, b, c := math.Mod(a0, 1e3), math.Mod(b0, 1e3), math.Mod(c0, 1e3)
+		x := []float64{a, b, c}
+		y := []float64{c, a, b}
+		back := SubVec(AddVec(x, y), y)
+		for i := range x {
+			if !almostEq(back[i], x[i], 1e-9*(1+math.Abs(x[i]))) {
+				return false
+			}
+		}
+		return almostEq(Dot(ScaleVec(2, x), y), 2*Dot(x, y), 1e-6*(1+math.Abs(Dot(x, y))))
+	}
+	cfg := &quick.Config{MaxCount: 100, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package mlp implements the small multilayer perceptron used for the
+// online-IL policy (Section IV-A3: "the policy is represented as a neural
+// network and it is updated using the back-propagation algorithm") and for
+// the deep-Q baseline. Training is plain SGD with momentum; everything is
+// deterministic given the seed.
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+const (
+	// Tanh is the default hidden activation.
+	Tanh Activation = iota
+	// ReLU is a rectified-linear hidden activation.
+	ReLU
+)
+
+// Network is a fully connected feed-forward network with linear outputs.
+type Network struct {
+	Sizes  []int // layer widths, input..output
+	Act    Activation
+	W      [][]float64 // W[l][j*in+i]: layer l weight from input i to unit j
+	B      [][]float64
+	mW, mB [][]float64 // momentum buffers
+}
+
+// New constructs a network with the given layer sizes (at least input and
+// output) and Xavier-style initialization.
+func New(seed int64, act Activation, sizes ...int) *Network {
+	if len(sizes) < 2 {
+		panic("mlp: need at least input and output sizes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{Sizes: sizes, Act: act}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := math.Sqrt(2.0 / float64(in+out))
+		w := make([]float64, in*out)
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		n.W = append(n.W, w)
+		n.B = append(n.B, make([]float64, out))
+		n.mW = append(n.mW, make([]float64, in*out))
+		n.mB = append(n.mB, make([]float64, out))
+	}
+	return n
+}
+
+// NumParams returns the total number of trainable parameters; the paper
+// cares about this because the policy must fit in an OS governor (<20KB of
+// state for the adaptation buffer, a few KB for the network).
+func (n *Network) NumParams() int {
+	total := 0
+	for l := range n.W {
+		total += len(n.W[l]) + len(n.B[l])
+	}
+	return total
+}
+
+func (n *Network) activate(v float64) float64 {
+	switch n.Act {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	default:
+		return math.Tanh(v)
+	}
+}
+
+func (n *Network) activateGrad(a float64) float64 {
+	switch n.Act {
+	case ReLU:
+		if a > 0 {
+			return 1
+		}
+		return 0
+	default:
+		return 1 - a*a // tanh'(x) in terms of tanh(x)
+	}
+}
+
+// Forward runs the network and returns the output along with all layer
+// activations (needed for backprop).
+func (n *Network) forward(x []float64) [][]float64 {
+	if len(x) != n.Sizes[0] {
+		panic(fmt.Sprintf("mlp: input dim %d, want %d", len(x), n.Sizes[0]))
+	}
+	acts := make([][]float64, len(n.Sizes))
+	acts[0] = x
+	for l := 0; l < len(n.W); l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		a := make([]float64, out)
+		prev := acts[l]
+		for j := 0; j < out; j++ {
+			s := n.B[l][j]
+			wrow := n.W[l][j*in : (j+1)*in]
+			for i := 0; i < in; i++ {
+				s += wrow[i] * prev[i]
+			}
+			if l < len(n.W)-1 {
+				s = n.activate(s)
+			}
+			a[j] = s
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// Predict returns the network output for input x.
+func (n *Network) Predict(x []float64) []float64 {
+	acts := n.forward(x)
+	out := acts[len(acts)-1]
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// TrainStep performs one SGD-with-momentum step on a single (x, target)
+// pair under MSE loss and returns the sample loss before the update.
+func (n *Network) TrainStep(x, target []float64, lr, momentum float64) float64 {
+	acts := n.forward(x)
+	L := len(n.W)
+	out := acts[L]
+	if len(target) != len(out) {
+		panic(fmt.Sprintf("mlp: target dim %d, want %d", len(target), len(out)))
+	}
+	// Output delta (linear output + MSE).
+	delta := make([]float64, len(out))
+	loss := 0.0
+	for j := range out {
+		e := out[j] - target[j]
+		delta[j] = e
+		loss += e * e
+	}
+	loss /= float64(len(out))
+
+	for l := L - 1; l >= 0; l-- {
+		in, outW := n.Sizes[l], n.Sizes[l+1]
+		prev := acts[l]
+		var nextDelta []float64
+		if l > 0 {
+			nextDelta = make([]float64, in)
+		}
+		for j := 0; j < outW; j++ {
+			d := delta[j]
+			wrow := n.W[l][j*in : (j+1)*in]
+			mrow := n.mW[l][j*in : (j+1)*in]
+			for i := 0; i < in; i++ {
+				if nextDelta != nil {
+					nextDelta[i] += wrow[i] * d
+				}
+				g := d * prev[i]
+				mrow[i] = momentum*mrow[i] - lr*g
+				wrow[i] += mrow[i]
+			}
+			n.mB[l][j] = momentum*n.mB[l][j] - lr*d
+			n.B[l][j] += n.mB[l][j]
+		}
+		if l > 0 {
+			for i := 0; i < in; i++ {
+				nextDelta[i] *= n.activateGrad(acts[l][i])
+			}
+			delta = nextDelta
+		}
+	}
+	return loss
+}
+
+// TrainEpochs runs full-batch epochs of per-sample SGD over the dataset in
+// a deterministic shuffled order and returns the final mean loss.
+func (n *Network) TrainEpochs(xs, ys [][]float64, epochs int, lr, momentum float64, seed int64) float64 {
+	if len(xs) != len(ys) {
+		panic("mlp: xs/ys length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sum := 0.0
+		for _, i := range order {
+			sum += n.TrainStep(xs[i], ys[i], lr, momentum)
+		}
+		last = sum / float64(len(xs))
+	}
+	return last
+}
+
+// Clone returns a deep copy of the network (used for DQN target networks).
+func (n *Network) Clone() *Network {
+	c := &Network{Sizes: append([]int(nil), n.Sizes...), Act: n.Act}
+	for l := range n.W {
+		c.W = append(c.W, append([]float64(nil), n.W[l]...))
+		c.B = append(c.B, append([]float64(nil), n.B[l]...))
+		c.mW = append(c.mW, make([]float64, len(n.W[l])))
+		c.mB = append(c.mB, make([]float64, len(n.B[l])))
+	}
+	return c
+}

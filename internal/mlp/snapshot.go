@@ -1,0 +1,48 @@
+package mlp
+
+import "fmt"
+
+// Snapshot is the serializable state of a trained network (weights only;
+// optimizer momentum is transient). It is what an offline training flow
+// ships to the on-device governor.
+type Snapshot struct {
+	Sizes []int       `json:"sizes"`
+	Act   Activation  `json:"act"`
+	W     [][]float64 `json:"w"`
+	B     [][]float64 `json:"b"`
+}
+
+// Snapshot captures the current weights.
+func (n *Network) Snapshot() Snapshot {
+	s := Snapshot{Sizes: append([]int(nil), n.Sizes...), Act: n.Act}
+	for l := range n.W {
+		s.W = append(s.W, append([]float64(nil), n.W[l]...))
+		s.B = append(s.B, append([]float64(nil), n.B[l]...))
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a trainable network from a snapshot.
+func FromSnapshot(s Snapshot) (*Network, error) {
+	if len(s.Sizes) < 2 {
+		return nil, fmt.Errorf("mlp: snapshot needs at least 2 layer sizes")
+	}
+	if len(s.W) != len(s.Sizes)-1 || len(s.B) != len(s.Sizes)-1 {
+		return nil, fmt.Errorf("mlp: snapshot has %d weight layers for %d sizes", len(s.W), len(s.Sizes))
+	}
+	n := &Network{Sizes: append([]int(nil), s.Sizes...), Act: s.Act}
+	for l := 0; l < len(s.Sizes)-1; l++ {
+		in, out := s.Sizes[l], s.Sizes[l+1]
+		if len(s.W[l]) != in*out {
+			return nil, fmt.Errorf("mlp: layer %d has %d weights, want %d", l, len(s.W[l]), in*out)
+		}
+		if len(s.B[l]) != out {
+			return nil, fmt.Errorf("mlp: layer %d has %d biases, want %d", l, len(s.B[l]), out)
+		}
+		n.W = append(n.W, append([]float64(nil), s.W[l]...))
+		n.B = append(n.B, append([]float64(nil), s.B[l]...))
+		n.mW = append(n.mW, make([]float64, in*out))
+		n.mB = append(n.mB, make([]float64, out))
+	}
+	return n, nil
+}

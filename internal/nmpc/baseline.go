@@ -1,0 +1,54 @@
+package nmpc
+
+import "socrm/internal/gpu"
+
+// Baseline is the stock utilization-driven GPU governor Figure 5 compares
+// against: all slices stay powered and the frequency chases a utilization
+// set-point, ramping fast on load and stepping down cautiously. It wastes
+// energy two ways the predictive controller does not: gated-off slices are
+// never considered, and the race-to-setpoint runs at unnecessarily high
+// voltage for light scenes.
+type Baseline struct {
+	Dev       *gpu.Device
+	UpUtil    float64 // ramp when frame utilization above this
+	DownUtil  float64 // step down when below this
+	UpStep    int
+	DownStep  int
+	cur       gpu.State
+	havestate bool
+}
+
+// NewBaseline returns the governor with typical shipping tuning: the wide
+// utilization headroom (target band roughly 45-75%) is what reactive
+// governors need to absorb frame-to-frame variance without jank — and what
+// the predictive controller reclaims.
+func NewBaseline(dev *gpu.Device) *Baseline {
+	return &Baseline{
+		Dev:      dev,
+		UpUtil:   0.75,
+		DownUtil: 0.45,
+		UpStep:   2,
+		DownStep: 1,
+	}
+}
+
+// Name implements Controller.
+func (b *Baseline) Name() string { return "baseline" }
+
+// Next implements Controller.
+func (b *Baseline) Next(obs FrameObs) gpu.State {
+	if !b.havestate {
+		b.cur = gpu.State{FreqIdx: len(b.Dev.OPPs) / 2, Slices: b.Dev.MaxSlices}
+		b.havestate = true
+	}
+	u := obs.Stats.Util
+	switch {
+	case obs.Stats.Late || u >= b.UpUtil:
+		b.cur.FreqIdx += b.UpStep
+	case u < b.DownUtil:
+		b.cur.FreqIdx -= b.DownStep
+	}
+	b.cur.Slices = b.Dev.MaxSlices // the stock governor never gates slices
+	b.cur = b.Dev.Clamp(b.cur)
+	return b.cur
+}

@@ -1,0 +1,128 @@
+package nmpc
+
+import (
+	"socrm/internal/gpu"
+	"socrm/internal/rls"
+)
+
+// GPUModels are the predictive sensitivity models the multi-rate controller
+// relies on (Section IV-B: "the formulation utilizes predictive sensitivity
+// models for the control knobs to abstract the underlying system details").
+// Both have physical structure with RLS-learned coefficients, so they can
+// be trained offline and keep adapting online:
+//
+//   - Render time: t = k * w/(f*S^alpha) + c, linear in [w/(f*S^alpha), 1].
+//   - Frame energy: linear in switching, leakage and idle terms derived
+//     from the candidate state and the render-time prediction.
+type GPUModels struct {
+	Dev        *gpu.Device
+	RenderTime *rls.RLS // [w/(f*S^alpha), 1] -> seconds
+	Energy     *rls.RLS // see energyFeatures -> joules per frame
+
+	workEst float64 // EWMA forecast of per-frame work (slice-cycles)
+	beta    float64 // forecast smoothing
+	warm    bool
+}
+
+// NewGPUModels returns untrained models; Warmup trains them in-situ.
+func NewGPUModels(dev *gpu.Device) *GPUModels {
+	return &GPUModels{
+		Dev:        dev,
+		RenderTime: rls.New(2, 0.98, 100),
+		Energy:     rls.New(4, 0.98, 100),
+		beta:       0.6,
+	}
+}
+
+func (m *GPUModels) rtFeatures(work float64, s gpu.State) []float64 {
+	return []float64{work / m.Dev.Capacity(s), 1}
+}
+
+func (m *GPUModels) energyFeatures(s gpu.State, tRender, budget float64) []float64 {
+	s = m.Dev.Clamp(s)
+	o := m.Dev.OPPs[s.FreqIdx]
+	fGHz := o.FreqMHz / 1000
+	v2 := o.Volt * o.Volt
+	// Leakage and the idle floor accrue for the whole frame span — which
+	// is the budget when the deadline is met, and the (longer) render time
+	// when it is not.
+	span := budget
+	if tRender > span {
+		span = tRender
+	}
+	return []float64{
+		float64(s.Slices) * v2 * fGHz * tRender, // switching energy
+		float64(s.Slices) * v2 * span,           // slice leakage
+		span,                                    // fixed floor
+		1,
+	}
+}
+
+// WorkForecast returns the EWMA prediction of the next frame's work.
+func (m *GPUModels) WorkForecast() float64 { return m.workEst }
+
+// PredictTime estimates the render time of the forecast work in state s.
+func (m *GPUModels) PredictTime(work float64, s gpu.State) float64 {
+	t := m.RenderTime.Predict(m.rtFeatures(work, s))
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// PredictEnergy estimates the GPU energy of one frame in state s with the
+// given forecast work and frame budget.
+func (m *GPUModels) PredictEnergy(work float64, s gpu.State, budget float64) float64 {
+	t := m.PredictTime(work, s)
+	e := m.Energy.Predict(m.energyFeatures(s, t, budget))
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// Observe updates forecast and models from a completed frame.
+func (m *GPUModels) Observe(stats gpu.FrameStats, budget float64) {
+	if !m.warm {
+		m.workEst = stats.BusyCycles
+		m.warm = true
+	} else {
+		m.workEst = m.beta*m.workEst + (1-m.beta)*stats.BusyCycles
+	}
+	s := gpu.State{Slices: stats.Slices}
+	// Recover the OPP index from the recorded frequency.
+	for i, o := range m.Dev.OPPs {
+		if o.FreqMHz == stats.FreqMHz {
+			s.FreqIdx = i
+			break
+		}
+	}
+	m.RenderTime.Update(m.rtFeatures(stats.BusyCycles, s), stats.RenderTime)
+	m.Energy.Update(m.energyFeatures(s, stats.RenderTime, budget), stats.EnergyGPU)
+}
+
+// Warmup trains the models by sweeping states over a short synthetic load
+// range, mirroring the paper's offline model construction.
+func (m *GPUModels) Warmup(budget float64) {
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	for _, s := range []gpu.State{
+		{FreqIdx: 0, Slices: 1},
+		{FreqIdx: len(m.Dev.OPPs) / 2, Slices: 1},
+		{FreqIdx: len(m.Dev.OPPs) - 1, Slices: 1},
+		{FreqIdx: 0, Slices: m.Dev.MaxSlices},
+		{FreqIdx: len(m.Dev.OPPs) / 2, Slices: 2},
+		{FreqIdx: len(m.Dev.OPPs) - 1, Slices: m.Dev.MaxSlices},
+	} {
+		for _, l := range loads {
+			work := l * (budget - m.Dev.FixedOverhead) * m.Dev.MaxCapacity()
+			t := m.Dev.RenderTime(work, s)
+			idle := budget - t
+			if idle < 0 {
+				idle = 0
+			}
+			e := m.Dev.Power(s)*t + m.Dev.IdlePower(s)*idle
+			m.RenderTime.Update(m.rtFeatures(work, s), t)
+			m.Energy.Update(m.energyFeatures(s, t, budget), e)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package nmpc
+
+import (
+	"math"
+
+	"socrm/internal/gpu"
+)
+
+// MultiRate is the multi-rate NMPC controller of ref [22]: the slow-rate
+// loop re-solves the constrained nonlinear program over both knobs (active
+// slices and frequency) every SlowPeriod frames, amortizing the expensive
+// slice reconfiguration; the fast-rate loop re-optimizes frequency alone on
+// every frame using the sensitivity models, which hardware can apply
+// immediately.
+type MultiRate struct {
+	Dev    *gpu.Device
+	Models *GPUModels
+
+	SlowPeriod int     // frames between slice decisions
+	Margin     float64 // fraction of the budget reserved as deadline slack
+	Horizon    int     // frames the slow-rate program looks ahead
+
+	cur       gpu.State
+	havestate bool
+	sinceSlow int
+}
+
+// NewMultiRate returns the controller with the defaults used in the
+// Figure 5 reproduction.
+func NewMultiRate(dev *gpu.Device, models *GPUModels) *MultiRate {
+	return &MultiRate{
+		Dev:        dev,
+		Models:     models,
+		SlowPeriod: 30,
+		Margin:     0.10,
+		Horizon:    30,
+	}
+}
+
+// Name implements Controller.
+func (c *MultiRate) Name() string { return "nmpc" }
+
+// solve runs the constrained optimization: minimize predicted energy per
+// frame over the horizon subject to the deadline (with margin), amortizing
+// the reconfiguration cost over the horizon. If freezeSlices is >= 1 only
+// the frequency is free (the fast-rate problem).
+func (c *MultiRate) solve(work, budget float64, cur gpu.State, freezeSlices int) gpu.State {
+	deadline := budget * (1 - c.Margin)
+	best := c.Dev.MaxState()
+	bestCost := math.Inf(1)
+	feasible := false
+	sliceLo, sliceHi := 1, c.Dev.MaxSlices
+	if freezeSlices >= 1 {
+		sliceLo, sliceHi = freezeSlices, freezeSlices
+	}
+	for s := sliceLo; s <= sliceHi; s++ {
+		for f := 0; f < len(c.Dev.OPPs); f++ {
+			st := gpu.State{FreqIdx: f, Slices: s}
+			t := c.Models.PredictTime(work, st)
+			if s != cur.Slices {
+				t += c.Dev.ReconfigTime
+			}
+			if t > deadline {
+				continue
+			}
+			cost := c.Models.PredictEnergy(work, st, budget)
+			if s != cur.Slices {
+				cost += c.Dev.ReconfigJ / float64(maxInt(c.Horizon, 1))
+			}
+			if cost < bestCost {
+				best, bestCost = st, cost
+				feasible = true
+			}
+		}
+	}
+	if !feasible {
+		// No state meets the deadline under the models: run flat out.
+		return c.Dev.MaxState()
+	}
+	return best
+}
+
+// Next implements Controller: slow-rate joint solve every SlowPeriod
+// frames, fast-rate frequency-only solve otherwise.
+func (c *MultiRate) Next(obs FrameObs) gpu.State {
+	c.Models.Observe(obs.Stats, obs.Budget)
+	if !c.havestate {
+		c.cur = gpu.State{FreqIdx: len(c.Dev.OPPs) / 2, Slices: c.Dev.MaxSlices}
+		c.havestate = true
+	}
+	work := c.Models.WorkForecast()
+	c.sinceSlow++
+	if c.sinceSlow >= c.SlowPeriod {
+		c.sinceSlow = 0
+		c.cur = c.solve(work, obs.Budget, c.cur, 0)
+	} else {
+		c.cur = c.solve(work, obs.Budget, c.cur, c.cur.Slices)
+	}
+	return c.cur
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

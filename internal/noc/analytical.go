@@ -1,0 +1,140 @@
+package noc
+
+// Analytical implements the queueing-theoretic latency model of ref [35]
+// (Mandal et al., "Analytical Performance Models for NoCs with Multiple
+// Priority Traffic Classes"): per-channel loads are computed from the
+// routing function and traffic pattern, each channel is treated as an
+// M/M/1-style server with head-of-line priority, and end-to-end latency is
+// the load-weighted mean over source-destination pairs.
+
+// AnalyticalResult holds the model outputs alongside the intermediate
+// quantities the SVR correction uses as features (ref [34] feeds the
+// analytically estimated waiting times to the learner).
+type AnalyticalResult struct {
+	AvgLatency   float64
+	ClassLatency []float64
+	AvgHops      float64
+	MeanChanRho  float64 // mean utilization over loaded channels
+	MaxChanRho   float64
+	Saturated    bool // some channel load >= 1: the model diverges
+}
+
+// Analytical evaluates the model for injection rate lambda
+// (packets/node/cycle summed over classes) under the given pattern and
+// per-class traffic split (nil = equal).
+func (m *Mesh) Analytical(lambda float64, pattern Pattern, classes int, split []float64) AnalyticalResult {
+	if classes < 1 {
+		classes = 1
+	}
+	if split == nil {
+		split = make([]float64, classes)
+		for i := range split {
+			split[i] = 1 / float64(classes)
+		}
+	}
+	n := m.Nodes()
+	nCh := m.NumChannels()
+	// Per-channel per-class load.
+	rho := make([][]float64, nCh)
+	for c := range rho {
+		rho[c] = make([]float64, classes)
+	}
+	type pair struct {
+		src, dst int
+		w        float64 // packets/cycle on this pair (all classes)
+	}
+	var pairs []pair
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := m.destProb(pattern, s, d)
+			if p == 0 {
+				continue
+			}
+			w := lambda * p
+			pairs = append(pairs, pair{s, d, w})
+			for _, ch := range m.Route(s, d) {
+				for k := 0; k < classes; k++ {
+					rho[ch][k] += w * split[k]
+				}
+			}
+		}
+	}
+
+	// Head-of-line priority waiting time at a channel for class k
+	// (non-preemptive M/M/1 with unit service):
+	//   W_k = rhoTotal / ((1 - sigma_{k-1}) * (1 - sigma_k))
+	// where sigma_k is the cumulative utilization of classes 0..k.
+	wait := func(ch, k int) float64 {
+		var sigmaPrev, sigma, total float64
+		for j := 0; j < classes; j++ {
+			total += rho[ch][j]
+			if j < k {
+				sigmaPrev += rho[ch][j]
+			}
+			if j <= k {
+				sigma += rho[ch][j]
+			}
+		}
+		const cap = 1e4
+		if sigma >= 0.999 || sigmaPrev >= 0.999 {
+			return cap
+		}
+		w := total / ((1 - sigmaPrev) * (1 - sigma))
+		if w > cap {
+			return cap
+		}
+		return w
+	}
+
+	res := AnalyticalResult{ClassLatency: make([]float64, classes)}
+	var wSum, latSum, hopSum float64
+	classLatW := make([]float64, classes)
+	for _, pr := range pairs {
+		route := m.Route(pr.src, pr.dst)
+		hopSum += float64(len(route)) * pr.w
+		for k := 0; k < classes; k++ {
+			// One service cycle plus queueing per channel; ejection at the
+			// destination router is immediate, matching the simulator.
+			lat := 0.0
+			for _, ch := range route {
+				lat += 1 + wait(ch, k)
+			}
+			res.ClassLatency[k] += lat * pr.w * split[k]
+			classLatW[k] += pr.w * split[k]
+			latSum += lat * pr.w * split[k]
+		}
+		wSum += pr.w
+	}
+	if wSum > 0 {
+		res.AvgLatency = latSum / wSum
+		res.AvgHops = hopSum / wSum
+	}
+	for k := range res.ClassLatency {
+		if classLatW[k] > 0 {
+			res.ClassLatency[k] /= classLatW[k]
+		}
+	}
+	// Channel statistics.
+	var sum, maxR float64
+	var used int
+	for c := 0; c < nCh; c++ {
+		var tot float64
+		for k := 0; k < classes; k++ {
+			tot += rho[c][k]
+		}
+		if tot == 0 {
+			continue
+		}
+		sum += tot
+		used++
+		if tot > maxR {
+			maxR = tot
+		}
+	}
+	if used > 0 {
+		res.MeanChanRho = sum / float64(used)
+	}
+	res.MaxChanRho = maxR
+	res.Saturated = maxR >= 0.999
+	return res
+}

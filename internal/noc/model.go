@@ -1,0 +1,98 @@
+package noc
+
+import (
+	"fmt"
+
+	"socrm/internal/counters"
+	"socrm/internal/rls"
+	"socrm/internal/svr"
+)
+
+// LatencyModel is the learned NoC latency estimator of ref [34]: an SVR
+// trained on features that include the analytical model's own estimates,
+// so the learner only has to capture the residual the queueing
+// approximation misses. An optional RLS head adapts the estimate online —
+// the extension Section III-C identifies as missing from offline NoC
+// models.
+type LatencyModel struct {
+	mesh    *Mesh
+	classes int
+	model   *svr.Model
+	scaler  *counters.Scaler
+	online  *rls.RLS // residual adapter over the same scaled features
+}
+
+// featuresFor builds the model input for one operating point.
+func (m *Mesh) featuresFor(lambda float64, pattern Pattern, classes int) []float64 {
+	a := m.Analytical(lambda, pattern, classes, nil)
+	return []float64{
+		lambda,
+		a.AvgHops,
+		a.AvgLatency,
+		a.MeanChanRho,
+		a.MaxChanRho,
+		lambda * a.AvgHops, // offered channel load proxy
+	}
+}
+
+// TrainLatencyModel sweeps injection rates for the given patterns, runs the
+// simulator as ground truth, and fits the SVR corrector. Rates at or past
+// analytical saturation are skipped, as in ref [34].
+func TrainLatencyModel(m *Mesh, patterns []Pattern, lambdas []float64, classes, cycles int, seed int64) (*LatencyModel, error) {
+	var xs [][]float64
+	var ys []float64
+	for _, pat := range patterns {
+		for i, lam := range lambdas {
+			a := m.Analytical(lam, pat, classes, nil)
+			if a.Saturated {
+				continue
+			}
+			sim := m.Simulate(SimParams{
+				Lambda: lam, Pattern: pat, Classes: classes,
+				Cycles: cycles, Warmup: cycles / 5, Seed: seed + int64(i)*131 + int64(pat),
+			})
+			if sim.Delivered == 0 {
+				continue
+			}
+			xs = append(xs, m.featuresFor(lam, pat, classes))
+			ys = append(ys, sim.AvgLatency)
+		}
+	}
+	if len(xs) < 4 {
+		return nil, fmt.Errorf("noc: only %d usable training points", len(xs))
+	}
+	scaler := counters.FitScaler(xs)
+	sx := scaler.TransformAll(xs)
+	p := svr.DefaultParams()
+	p.Epsilon = 0.05
+	p.Epochs = 200
+	model, err := svr.Fit(sx, ys, p)
+	if err != nil {
+		return nil, err
+	}
+	lm := &LatencyModel{mesh: m, classes: classes, model: model, scaler: scaler}
+	lm.online = rls.New(len(xs[0])+1, 0.98, 100)
+	return lm, nil
+}
+
+// Predict estimates average packet latency at the operating point.
+func (lm *LatencyModel) Predict(lambda float64, pattern Pattern) float64 {
+	x := lm.scaler.Transform(lm.mesh.featuresFor(lambda, pattern, lm.classes))
+	base := lm.model.Predict(x)
+	if lm.online != nil && lm.online.Samples() > 0 {
+		base += lm.online.Predict(append(x, 1))
+	}
+	if base < 1 {
+		base = 1
+	}
+	return base
+}
+
+// Observe feeds a measured latency back into the online residual adapter,
+// letting the model track workloads that drift away from the training
+// sweep.
+func (lm *LatencyModel) Observe(lambda float64, pattern Pattern, measured float64) {
+	x := lm.scaler.Transform(lm.mesh.featuresFor(lambda, pattern, lm.classes))
+	base := lm.model.Predict(x)
+	lm.online.Update(append(x, 1), measured-base)
+}

@@ -1,0 +1,197 @@
+package noc
+
+import (
+	"math/rand"
+)
+
+// packet is one single-flit packet in flight.
+type packet struct {
+	dst   int
+	class int
+	born  int
+}
+
+// SimResult aggregates a simulation run.
+type SimResult struct {
+	AvgLatency   float64   // cycles, injection to ejection, all classes
+	ClassLatency []float64 // per-priority-class average latency
+	Delivered    int
+	Injected     int
+	MeanChanUtil float64 // mean utilization over channels that carried traffic
+	MaxChanUtil  float64
+}
+
+// SimParams configures a simulation run.
+type SimParams struct {
+	Lambda     float64 // injection rate, packets/node/cycle (all classes)
+	Pattern    Pattern
+	Classes    int       // number of priority classes (>=1); class 0 is highest
+	ClassSplit []float64 // traffic share per class; nil = equal split
+	Cycles     int
+	Warmup     int // cycles excluded from statistics
+	Seed       int64
+}
+
+// Simulate runs the slotted priority-queue mesh model: every channel moves
+// one packet per cycle, arbitrating strictly by priority class then FIFO
+// order. It returns average end-to-end latency and channel utilization —
+// the ground truth the analytical and SVR models are judged against.
+func (m *Mesh) Simulate(p SimParams) SimResult {
+	if p.Classes < 1 {
+		p.Classes = 1
+	}
+	split := p.ClassSplit
+	if split == nil {
+		split = make([]float64, p.Classes)
+		for i := range split {
+			split[i] = 1 / float64(p.Classes)
+		}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	nCh := m.NumChannels()
+	// queues[ch][class] is a FIFO of packets waiting for the channel.
+	queues := make([][][]packet, nCh)
+	for c := range queues {
+		queues[c] = make([][]packet, p.Classes)
+	}
+	// Precompute destination CDF per source for fast sampling.
+	n := m.Nodes()
+	cdf := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		cdf[s] = make([]float64, n)
+		acc := 0.0
+		for d := 0; d < n; d++ {
+			acc += m.destProb(p.Pattern, s, d)
+			cdf[s][d] = acc
+		}
+	}
+	classCDF := make([]float64, p.Classes)
+	acc := 0.0
+	for i, w := range split {
+		acc += w
+		classCDF[i] = acc
+	}
+
+	var res SimResult
+	res.ClassLatency = make([]float64, p.Classes)
+	classCount := make([]int, p.Classes)
+	busy := make([]int, nCh)
+	var latSum float64
+
+	sampleCDF := func(c []float64) int {
+		u := rng.Float64() * c[len(c)-1]
+		for i, v := range c {
+			if u <= v {
+				return i
+			}
+		}
+		return len(c) - 1
+	}
+
+	for cyc := 0; cyc < p.Cycles; cyc++ {
+		// Inject.
+		for s := 0; s < n; s++ {
+			if rng.Float64() >= p.Lambda {
+				continue
+			}
+			dst := sampleCDF(cdf[s])
+			if dst == s {
+				continue
+			}
+			cls := sampleCDF(classCDF)
+			d, _, ok := m.NextHop(s, dst)
+			if !ok {
+				continue
+			}
+			ch := m.ChannelID(s, d)
+			queues[ch][cls] = append(queues[ch][cls], packet{dst: dst, class: cls, born: cyc})
+			if cyc >= p.Warmup {
+				res.Injected++
+			}
+		}
+		// Serve every channel: one packet per cycle, highest class first.
+		// Two-phase (collect then deliver) so a packet moves one hop per
+		// cycle even though we iterate channels in order.
+		type move struct {
+			pkt  packet
+			into int // destination channel, -1 = ejected at router
+			rtr  int
+		}
+		var moves []move
+		for chID := 0; chID < nCh; chID++ {
+			for cls := 0; cls < p.Classes; cls++ {
+				q := queues[chID][cls]
+				if len(q) == 0 {
+					continue
+				}
+				pk := q[0]
+				queues[chID][cls] = q[1:]
+				busy[chID]++
+				// The packet crosses channel chID and lands at the
+				// neighbouring router.
+				rtr := chID / int(numDirs)
+				dir := Direction(chID % int(numDirs))
+				nx, ny := m.XY(rtr)
+				switch dir {
+				case East:
+					nx++
+				case West:
+					nx--
+				case South:
+					ny++
+				case North:
+					ny--
+				}
+				at := m.Node(nx, ny)
+				if at == pk.dst {
+					moves = append(moves, move{pkt: pk, into: -1, rtr: at})
+				} else {
+					nd, _, _ := m.NextHop(at, pk.dst)
+					moves = append(moves, move{pkt: pk, into: m.ChannelID(at, nd), rtr: at})
+				}
+				break // one packet per channel per cycle
+			}
+		}
+		for _, mv := range moves {
+			if mv.into < 0 {
+				if mv.pkt.born >= p.Warmup {
+					lat := float64(cyc - mv.pkt.born + 1)
+					latSum += lat
+					res.Delivered++
+					res.ClassLatency[mv.pkt.class] += lat
+					classCount[mv.pkt.class]++
+				}
+				continue
+			}
+			queues[mv.into][mv.pkt.class] = append(queues[mv.into][mv.pkt.class], mv.pkt)
+		}
+	}
+	if res.Delivered > 0 {
+		res.AvgLatency = latSum / float64(res.Delivered)
+	}
+	for i := range res.ClassLatency {
+		if classCount[i] > 0 {
+			res.ClassLatency[i] /= float64(classCount[i])
+		}
+	}
+	// Channel utilization over the measured window.
+	meas := float64(p.Cycles)
+	var sum, maxU float64
+	var used int
+	for _, b := range busy {
+		if b == 0 {
+			continue
+		}
+		u := float64(b) / meas
+		sum += u
+		used++
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if used > 0 {
+		res.MeanChanUtil = sum / float64(used)
+	}
+	res.MaxChanUtil = maxU
+	return res
+}

@@ -1,0 +1,143 @@
+// Package oracle constructs the Oracle policies of Section IV-A1: for every
+// snippet it sweeps the platform's full configuration space (4940 points on
+// the XU3 model) and records the configuration optimizing the target
+// objective. The Oracle is the supervision source for imitation learning
+// and the normalization baseline of Table II and Figures 3-4.
+//
+// As the paper notes, Oracle construction is far too expensive for runtime
+// use — that is precisely why an approximating policy is needed.
+package oracle
+
+import (
+	"runtime"
+	"sync"
+
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// Objective scores an execution outcome; lower is better.
+type Objective func(soc.Result) float64
+
+// Energy minimizes energy consumption (the Table II objective).
+func Energy(r soc.Result) float64 { return r.Energy }
+
+// EDP minimizes the energy-delay product (performance-per-watt flavored
+// objective mentioned in Section IV-A1).
+func EDP(r soc.Result) float64 { return r.Energy * r.Time }
+
+// Oracle evaluates optimal configurations on a platform.
+type Oracle struct {
+	P       *soc.Platform
+	Obj     Objective
+	configs []soc.Config
+}
+
+// New returns an Oracle for the platform and objective.
+func New(p *soc.Platform, obj Objective) *Oracle {
+	return &Oracle{P: p, Obj: obj, configs: p.Configs()}
+}
+
+// Best sweeps the full configuration space for one snippet and returns the
+// optimal configuration with its execution result.
+func (o *Oracle) Best(s workload.Snippet) (soc.Config, soc.Result) {
+	bestCfg := o.configs[0]
+	bestRes := o.P.Execute(s, bestCfg)
+	bestScore := o.Obj(bestRes)
+	for _, c := range o.configs[1:] {
+		r := o.P.Execute(s, c)
+		if sc := o.Obj(r); sc < bestScore {
+			bestScore, bestCfg, bestRes = sc, c, r
+		}
+	}
+	return bestCfg, bestRes
+}
+
+// BestOf restricts the sweep to the given candidate set.
+func (o *Oracle) BestOf(s workload.Snippet, candidates []soc.Config) (soc.Config, soc.Result) {
+	bestCfg := candidates[0]
+	bestRes := o.P.Execute(s, bestCfg)
+	bestScore := o.Obj(bestRes)
+	for _, c := range candidates[1:] {
+		r := o.P.Execute(s, c)
+		if sc := o.Obj(r); sc < bestScore {
+			bestScore, bestCfg, bestRes = sc, c, r
+		}
+	}
+	return bestCfg, bestRes
+}
+
+// TopK returns the k best configurations for a snippet, used to prune the
+// dynamic-programming search over sequences.
+func (o *Oracle) TopK(s workload.Snippet, k int) []soc.Config {
+	type scored struct {
+		cfg   soc.Config
+		score float64
+	}
+	// Keep a simple insertion-sorted window of size k; the config count
+	// dominates, k is small.
+	best := make([]scored, 0, k)
+	for _, c := range o.configs {
+		sc := o.Obj(o.P.Execute(s, c))
+		if len(best) < k {
+			best = append(best, scored{c, sc})
+			for i := len(best) - 1; i > 0 && best[i-1].score > best[i].score; i-- {
+				best[i-1], best[i] = best[i], best[i-1]
+			}
+			continue
+		}
+		if sc >= best[k-1].score {
+			continue
+		}
+		best[k-1] = scored{c, sc}
+		for i := k - 1; i > 0 && best[i-1].score > best[i].score; i-- {
+			best[i-1], best[i] = best[i], best[i-1]
+		}
+	}
+	out := make([]soc.Config, len(best))
+	for i, b := range best {
+		out[i] = b.cfg
+	}
+	return out
+}
+
+// Label is the Oracle's answer for one snippet.
+type Label struct {
+	Cfg soc.Config
+	Res soc.Result
+}
+
+// LabelApp computes the per-snippet optimal configuration for a whole
+// application, parallelized over snippets (each sweep is independent).
+func (o *Oracle) LabelApp(app workload.Application) []Label {
+	labels := make([]Label, len(app.Snippets))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	ch := make(chan int, len(app.Snippets))
+	for i := range app.Snippets {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				cfg, res := o.Best(app.Snippets[i])
+				labels[i] = Label{Cfg: cfg, Res: res}
+			}
+		}()
+	}
+	wg.Wait()
+	return labels
+}
+
+// AppEnergy returns the Oracle's total energy for an application: the sum
+// of per-snippet optima (the normalizer of Table II and Figure 4).
+func (o *Oracle) AppEnergy(app workload.Application) float64 {
+	total := 0.0
+	for _, l := range o.LabelApp(app) {
+		total += l.Res.Energy
+	}
+	return total
+}

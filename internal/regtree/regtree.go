@@ -1,0 +1,196 @@
+// Package regtree implements CART-style regression trees. Refs [18][19]
+// build their offline imitation-learning policies from regression trees
+// because tree inference is a handful of comparisons — cheap enough for an
+// OS governor — while still capturing the nonlinear counter-to-configuration
+// mapping of the Oracle.
+package regtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params controls tree growth.
+type Params struct {
+	MaxDepth       int     // maximum tree depth (root = depth 0)
+	MinLeafSamples int     // minimum samples per leaf
+	MinGain        float64 // minimum variance reduction to split
+}
+
+// DefaultParams matches the small governor-resident trees of ref [18].
+func DefaultParams() Params {
+	return Params{MaxDepth: 8, MinLeafSamples: 4, MinGain: 1e-9}
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	feature int // split feature, -1 for leaf
+	thresh  float64
+	value   float64 // leaf prediction
+	left    *Tree
+	right   *Tree
+	n       int
+}
+
+// Fit grows a tree on the dataset.
+func Fit(xs [][]float64, ys []float64, p Params) (*Tree, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("regtree: no samples")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("regtree: %d samples, %d targets", len(xs), len(ys))
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return grow(xs, ys, idx, 0, p), nil
+}
+
+func grow(xs [][]float64, ys []float64, idx []int, depth int, p Params) *Tree {
+	t := &Tree{feature: -1, value: meanAt(ys, idx), n: len(idx)}
+	if depth >= p.MaxDepth || len(idx) < 2*p.MinLeafSamples {
+		return t
+	}
+	bestGain, bestF, bestT := 0.0, -1, 0.0
+	baseSSE := sseAt(ys, idx, t.value)
+	d := len(xs[idx[0]])
+	ord := make([]int, len(idx))
+	for f := 0; f < d; f++ {
+		copy(ord, idx)
+		sort.Slice(ord, func(a, b int) bool { return xs[ord[a]][f] < xs[ord[b]][f] })
+		// Prefix sums for O(n) split evaluation after the sort.
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, i := range ord {
+			sumR += ys[i]
+			sqR += ys[i] * ys[i]
+		}
+		for k := 0; k < len(ord)-1; k++ {
+			y := ys[ord[k]]
+			sumL += y
+			sqL += y * y
+			sumR -= y
+			sqR -= y * y
+			nl, nr := float64(k+1), float64(len(ord)-k-1)
+			if int(nl) < p.MinLeafSamples || int(nr) < p.MinLeafSamples {
+				continue
+			}
+			// Skip non-separable positions (equal feature values).
+			if xs[ord[k]][f] == xs[ord[k+1]][f] {
+				continue
+			}
+			sse := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+			gain := baseSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				bestF = f
+				bestT = (xs[ord[k]][f] + xs[ord[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestF < 0 || bestGain < p.MinGain {
+		return t
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestF] <= bestT {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return t
+	}
+	t.feature = bestF
+	t.thresh = bestT
+	t.left = grow(xs, ys, li, depth+1, p)
+	t.right = grow(xs, ys, ri, depth+1, p)
+	return t
+}
+
+func meanAt(ys []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += ys[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseAt(ys []float64, idx []int, mean float64) float64 {
+	s := 0.0
+	for _, i := range idx {
+		d := ys[i] - mean
+		s += d * d
+	}
+	return s
+}
+
+// Predict returns the tree output for features x.
+func (t *Tree) Predict(x []float64) float64 {
+	for t.feature >= 0 {
+		if x[t.feature] <= t.thresh {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// Depth returns the maximum depth of the tree.
+func (t *Tree) Depth() int {
+	if t.feature < 0 {
+		return 0
+	}
+	l, r := t.left.Depth(), t.right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int {
+	if t.feature < 0 {
+		return 1
+	}
+	return t.left.Leaves() + t.right.Leaves()
+}
+
+// Forest is a set of trees predicting independent outputs from shared
+// features (one tree per control knob, as in ref [18]).
+type Forest struct {
+	Trees []*Tree
+}
+
+// FitForest fits one tree per output column of ys.
+func FitForest(xs [][]float64, ys [][]float64, p Params) (*Forest, error) {
+	if len(ys) == 0 {
+		return nil, fmt.Errorf("regtree: no targets")
+	}
+	k := len(ys[0])
+	f := &Forest{Trees: make([]*Tree, k)}
+	col := make([]float64, len(ys))
+	for j := 0; j < k; j++ {
+		for i := range ys {
+			col[i] = ys[i][j]
+		}
+		t, err := Fit(xs, col, p)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees[j] = t
+	}
+	return f, nil
+}
+
+// Predict evaluates all trees on x.
+func (f *Forest) Predict(x []float64) []float64 {
+	out := make([]float64, len(f.Trees))
+	for j, t := range f.Trees {
+		out[j] = t.Predict(x)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package regtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitConstant(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}}
+	ys := []float64{5, 5, 5}
+	tr, err := Fit(xs, ys, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{10}); got != 5 {
+		t.Fatalf("constant prediction = %v", got)
+	}
+	if tr.Leaves() != 1 {
+		t.Fatalf("constant target should give a single leaf, got %d", tr.Leaves())
+	}
+}
+
+func TestFitStepFunction(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for x := 0.0; x < 1.0; x += 0.01 {
+		xs = append(xs, []float64{x})
+		v := 1.0
+		if x >= 0.5 {
+			v = 3.0
+		}
+		ys = append(ys, v)
+	}
+	p := DefaultParams()
+	tr, err := Fit(xs, ys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{0.2}); got != 1 {
+		t.Fatalf("left side = %v, want 1", got)
+	}
+	if got := tr.Predict([]float64{0.8}); got != 3 {
+		t.Fatalf("right side = %v, want 3", got)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(10*x)+0.05*rng.NormFloat64())
+	}
+	p := Params{MaxDepth: 3, MinLeafSamples: 2, MinGain: 1e-12}
+	tr, err := Fit(xs, ys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 3 {
+		t.Fatalf("depth %d exceeds limit 3", d)
+	}
+	if l := tr.Leaves(); l > 8 {
+		t.Fatalf("leaves %d exceed 2^3", l)
+	}
+}
+
+func TestMinLeafSamples(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	ys := []float64{0, 0, 10, 10}
+	p := Params{MaxDepth: 5, MinLeafSamples: 3, MinGain: 0}
+	tr, err := Fit(xs, ys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With min 3 samples per leaf and 4 samples total, no split fits.
+	if tr.Leaves() != 1 {
+		t.Fatalf("expected no split, got %d leaves", tr.Leaves())
+	}
+}
+
+func TestMultiFeatureSelectsInformative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		noise := rng.Float64()
+		signal := rng.Float64()
+		xs = append(xs, []float64{noise, signal})
+		v := 0.0
+		if signal > 0.6 {
+			v = 1
+		}
+		ys = append(ys, v)
+	}
+	tr, err := Fit(xs, ys, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root split must use the informative feature.
+	if tr.feature != 1 {
+		t.Fatalf("root split on feature %d, want 1", tr.feature)
+	}
+	if math.Abs(tr.thresh-0.6) > 0.1 {
+		t.Fatalf("root threshold %v far from 0.6", tr.thresh)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, DefaultParams()); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, DefaultParams()); err == nil {
+		t.Fatal("expected error on mismatch")
+	}
+}
+
+func TestForest(t *testing.T) {
+	xs := [][]float64{{0}, {0.25}, {0.75}, {1}}
+	ys := [][]float64{{0, 1}, {0, 1}, {1, 0}, {1, 0}}
+	f, err := FitForest(xs, ys, Params{MaxDepth: 3, MinLeafSamples: 1, MinGain: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.Predict([]float64{0.9})
+	if out[0] != 1 || out[1] != 0 {
+		t.Fatalf("forest predict = %v", out)
+	}
+	if _, err := FitForest(xs, nil, DefaultParams()); err == nil {
+		t.Fatal("expected error for empty targets")
+	}
+}
+
+func TestPredictionWithinTargetRange(t *testing.T) {
+	// Tree predictions are leaf means, so they can never leave the range
+	// of training targets — the property that makes tree policies safe
+	// extrapolators for Table II.
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64()
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Tanh(x))
+	}
+	tr, err := Fit(xs, ys, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{-1e6, -5, 0, 5, 1e6} {
+		got := tr.Predict([]float64{probe})
+		if got < -1 || got > 1 {
+			t.Fatalf("prediction %v outside training range", got)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package regtree
+
+import "fmt"
+
+// Snapshot is the serializable form of a tree node. Leaves have Feature
+// set to -1 and carry only Value.
+type Snapshot struct {
+	Feature int       `json:"feature"`
+	Thresh  float64   `json:"thresh,omitempty"`
+	Value   float64   `json:"value"`
+	Left    *Snapshot `json:"left,omitempty"`
+	Right   *Snapshot `json:"right,omitempty"`
+}
+
+// Snapshot captures the fitted tree.
+func (t *Tree) Snapshot() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	s := &Snapshot{Feature: t.feature, Thresh: t.thresh, Value: t.value}
+	if t.feature >= 0 {
+		s.Left = t.left.Snapshot()
+		s.Right = t.right.Snapshot()
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a tree.
+func FromSnapshot(s *Snapshot) (*Tree, error) {
+	if s == nil {
+		return nil, fmt.Errorf("regtree: nil snapshot")
+	}
+	t := &Tree{feature: s.Feature, thresh: s.Thresh, value: s.Value}
+	if s.Feature >= 0 {
+		if s.Left == nil || s.Right == nil {
+			return nil, fmt.Errorf("regtree: split node missing children")
+		}
+		var err error
+		if t.left, err = FromSnapshot(s.Left); err != nil {
+			return nil, err
+		}
+		if t.right, err = FromSnapshot(s.Right); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ForestSnapshot serializes a multi-output forest.
+type ForestSnapshot struct {
+	Trees []*Snapshot `json:"trees"`
+}
+
+// Snapshot captures the forest.
+func (f *Forest) Snapshot() ForestSnapshot {
+	out := ForestSnapshot{}
+	for _, t := range f.Trees {
+		out.Trees = append(out.Trees, t.Snapshot())
+	}
+	return out
+}
+
+// ForestFromSnapshot reconstructs a forest.
+func ForestFromSnapshot(s ForestSnapshot) (*Forest, error) {
+	if len(s.Trees) == 0 {
+		return nil, fmt.Errorf("regtree: empty forest snapshot")
+	}
+	f := &Forest{}
+	for i, ts := range s.Trees {
+		t, err := FromSnapshot(ts)
+		if err != nil {
+			return nil, fmt.Errorf("regtree: tree %d: %w", i, err)
+		}
+		f.Trees = append(f.Trees, t)
+	}
+	return f, nil
+}

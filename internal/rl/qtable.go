@@ -1,0 +1,172 @@
+package rl
+
+import (
+	"math/rand"
+
+	"socrm/internal/control"
+	"socrm/internal/soc"
+)
+
+// stateBins discretizes the continuous observation into a compact table
+// index. Coarse binning is forced by table size — one of the two
+// "notable drawbacks" the paper lists for table-based RL.
+const (
+	mpkiBins       = 4
+	ipcBins        = 4
+	threadBins     = 3
+	bigFreqBins    = 5
+	littleFreqBins = 4
+	numStates      = mpkiBins * ipcBins * threadBins * bigFreqBins * littleFreqBins
+)
+
+func binOf(v float64, edges []float64) int {
+	for i, e := range edges {
+		if v < e {
+			return i
+		}
+	}
+	return len(edges)
+}
+
+func stateIndex(p *soc.Platform, st control.State) int {
+	d := st.Derived
+	mpki := binOf(d.L2MPKI, []float64{10, 30, 70}) // misses/kinstr
+	ipc := binOf(d.IPC, []float64{0.3, 0.7, 1.2})
+	thr := 0
+	switch {
+	case st.Threads >= 4:
+		thr = 2
+	case st.Threads >= 2:
+		thr = 1
+	}
+	bf := st.Config.BigFreqIdx * bigFreqBins / len(p.BigOPPs)
+	if bf >= bigFreqBins {
+		bf = bigFreqBins - 1
+	}
+	lf := st.Config.LittleFreqIdx * littleFreqBins / len(p.LittleOPPs)
+	if lf >= littleFreqBins {
+		lf = littleFreqBins - 1
+	}
+	return (((mpki*ipcBins+ipc)*threadBins+thr)*bigFreqBins+bf)*littleFreqBins + lf
+}
+
+// QTable is the table-based Q-learning decider. In its default
+// frequency-only mode it manages the two cluster frequencies with all
+// cores online — the control surface DVFS-oriented RL agents (e.g. ref
+// [14]) actually learn; the full four-knob increment space is selectable
+// but needs far more samples than a runtime sequence provides.
+type QTable struct {
+	P        *soc.Platform
+	Q        [][]float64
+	Alpha    float64 // learning rate
+	Gamma    float64 // discount
+	Epsilon  float64 // exploration probability
+	AllKnobs bool    // also manage core counts (harder, default off)
+
+	rng        *rand.Rand
+	lastState  int
+	lastAction Action
+	hasLast    bool
+}
+
+// NewQTable returns a Q-learning decider with the standard hyperparameters
+// used in the comparison.
+func NewQTable(p *soc.Platform, seed int64) *QTable {
+	q := &QTable{
+		P:       p,
+		Alpha:   0.2,
+		Gamma:   0.7,
+		Epsilon: 0.2,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	q.Q = make([][]float64, numStates)
+	for i := range q.Q {
+		q.Q[i] = make([]float64, NumActions)
+		for a := range q.Q[i] {
+			// Rewards are negative energies, so zero-initialized entries
+			// would be wildly optimistic and the greedy policy would cycle
+			// through unvisited actions forever. Start near the value of a
+			// typical snippet instead.
+			q.Q[i][a] = -15
+		}
+	}
+	return q
+}
+
+// Name implements control.Decider.
+func (q *QTable) Name() string { return "rl-qtable" }
+
+// numActs returns the size of the active action set: the first five
+// actions are the frequency moves, the rest the core-count moves.
+func (q *QTable) numActs() int {
+	if q.AllKnobs {
+		return int(NumActions)
+	}
+	return int(BigCoreUp) // Stay + the four frequency actions
+}
+
+// apply executes an action. In frequency-only mode the core counts follow
+// the standard thread-matched heuristic (as DVFS-only agents rely on the
+// scheduler for placement): one little core for the OS plus one big core
+// per runnable thread. The agent's inability to power-gate the big cluster
+// for memory-bound work is precisely the handicap that keeps it away from
+// the Oracle on unseen suites.
+func (q *QTable) apply(a Action, c soc.Config, threads int) soc.Config {
+	c = a.Apply(q.P, c)
+	if !q.AllKnobs {
+		c.NLittle = 1
+		c.NBig = threads
+		if c.NBig > 4 {
+			c.NBig = 4
+		}
+	}
+	return q.P.Clamp(c)
+}
+
+// Greedy returns the argmax action for the state.
+func (q *QTable) Greedy(st control.State) Action {
+	row := q.Q[stateIndex(q.P, st)]
+	best := 0
+	for a := 1; a < q.numActs(); a++ {
+		if row[a] > row[best] {
+			best = a
+		}
+	}
+	return Action(best)
+}
+
+// PolicyConfig returns the configuration the greedy policy would choose —
+// used for Oracle-agreement tracking.
+func (q *QTable) PolicyConfig(st control.State) soc.Config {
+	return q.apply(q.Greedy(st), st.Config, st.Threads)
+}
+
+// Decide implements control.Decider with epsilon-greedy exploration.
+func (q *QTable) Decide(st control.State) soc.Config {
+	s := stateIndex(q.P, st)
+	var a Action
+	if q.rng.Float64() < q.Epsilon {
+		a = Action(q.rng.Intn(q.numActs()))
+	} else {
+		a = q.Greedy(st)
+	}
+	q.lastState, q.lastAction, q.hasLast = s, a, true
+	return q.apply(a, st.Config, st.Threads)
+}
+
+// Observe implements control.Observer with the one-step Q-learning update.
+func (q *QTable) Observe(_ control.State, _ soc.Config, res soc.Result, next control.State) {
+	if !q.hasLast {
+		return
+	}
+	r := Reward(res)
+	ns := stateIndex(q.P, next)
+	maxNext := q.Q[ns][0]
+	for _, v := range q.Q[ns][1:] {
+		if v > maxNext {
+			maxNext = v
+		}
+	}
+	cur := q.Q[q.lastState][q.lastAction]
+	q.Q[q.lastState][q.lastAction] = cur + q.Alpha*(r+q.Gamma*maxNext-cur)
+}

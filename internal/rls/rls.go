@@ -1,0 +1,90 @@
+// Package rls implements recursive least squares with exponential
+// forgetting, the workhorse online-learning algorithm of Section III-B
+// (refs [12][30][31]): it keeps power and performance models tracking
+// time-varying workloads with O(d^2) update cost, cheap enough for a
+// firmware or governor implementation.
+package rls
+
+import (
+	"fmt"
+
+	"socrm/internal/mathx"
+)
+
+// RLS is a recursive-least-squares estimator of y = w'x with exponential
+// forgetting factor lambda in (0, 1].
+type RLS struct {
+	W      []float64     // current weights
+	P      *mathx.Matrix // inverse correlation matrix
+	Lambda float64       // forgetting factor
+	n      int           // samples seen
+}
+
+// New returns an RLS estimator for dim features. delta sets the initial
+// covariance P = delta*I; larger delta means faster initial adaptation.
+func New(dim int, lambda, delta float64) *RLS {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rls: invalid dimension %d", dim))
+	}
+	if lambda <= 0 || lambda > 1 {
+		panic(fmt.Sprintf("rls: forgetting factor %v out of (0,1]", lambda))
+	}
+	r := &RLS{
+		W:      make([]float64, dim),
+		P:      mathx.Identity(dim).Scale(delta),
+		Lambda: lambda,
+	}
+	return r
+}
+
+// Dim returns the feature dimension.
+func (r *RLS) Dim() int { return len(r.W) }
+
+// Samples returns the number of updates performed.
+func (r *RLS) Samples() int { return r.n }
+
+// Predict returns the current model output for features x.
+func (r *RLS) Predict(x []float64) float64 { return mathx.Dot(r.W, x) }
+
+// Update performs one RLS iteration with observation (x, y) and returns the
+// a-priori prediction error.
+func (r *RLS) Update(x []float64, y float64) float64 {
+	if len(x) != len(r.W) {
+		panic(fmt.Sprintf("rls: feature dim %d, want %d", len(x), len(r.W)))
+	}
+	px := r.P.MulVec(x) // P x
+	denom := r.Lambda + mathx.Dot(x, px)
+	g := mathx.ScaleVec(1/denom, px) // gain vector
+	e := y - r.Predict(x)            // a-priori error
+	mathx.AxpyInPlace(e, g, r.W)     // w += g e
+
+	// P = (P - g (P x)^T) / lambda
+	d := r.Dim()
+	for i := 0; i < d; i++ {
+		gi := g[i]
+		row := r.P.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] = (row[j] - gi*px[j]) / r.Lambda
+		}
+	}
+	r.n++
+	return e
+}
+
+// TraceP returns the trace of the covariance matrix, a standard divergence
+// indicator: under persistent excitation it stays bounded, but with a small
+// forgetting factor and poorly exciting inputs it blows up (the instability
+// STAFF guards against).
+func (r *RLS) TraceP() float64 {
+	t := 0.0
+	for i := 0; i < r.Dim(); i++ {
+		t += r.P.At(i, i)
+	}
+	return t
+}
+
+// Reset reinitializes the covariance while keeping the weights, the standard
+// remedy after a divergence or a detected workload change.
+func (r *RLS) Reset(delta float64) {
+	r.P = mathx.Identity(r.Dim()).Scale(delta)
+}

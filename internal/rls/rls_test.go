@@ -1,0 +1,128 @@
+package rls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRLSConvergesToTrueWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := []float64{2.5, -1.0, 0.3}
+	r := New(3, 1.0, 100)
+	for i := 0; i < 500; i++ {
+		x := []float64{1, rng.NormFloat64(), rng.NormFloat64()}
+		y := truth[0]*x[0] + truth[1]*x[1] + truth[2]*x[2]
+		r.Update(x, y)
+	}
+	for i, w := range r.W {
+		if math.Abs(w-truth[i]) > 1e-3 {
+			t.Fatalf("w[%d] = %v, want %v", i, w, truth[i])
+		}
+	}
+	if r.Samples() != 500 {
+		t.Fatalf("samples = %d", r.Samples())
+	}
+}
+
+func TestRLSTracksDriftWithForgetting(t *testing.T) {
+	// With lambda < 1, the estimator tracks a weight change; with
+	// lambda = 1 it averages over both regimes and lags. This is the
+	// mechanism of Section III-B's exponential forgetting.
+	run := func(lambda float64) float64 {
+		rng := rand.New(rand.NewSource(2))
+		r := New(2, lambda, 100)
+		var lastErr float64
+		for i := 0; i < 400; i++ {
+			w0 := 1.0
+			if i >= 200 {
+				w0 = 4.0 // workload change
+			}
+			x := []float64{1, rng.NormFloat64()}
+			y := w0*x[0] + 0.5*x[1]
+			r.Update(x, y)
+			if i >= 380 {
+				lastErr += math.Abs(r.Predict(x) - y)
+			}
+		}
+		return lastErr
+	}
+	adaptive := run(0.9)
+	static := run(1.0)
+	if adaptive >= static {
+		t.Fatalf("forgetting (%v) should track drift better than averaging (%v)", adaptive, static)
+	}
+}
+
+func TestRLSPredictBeforeTraining(t *testing.T) {
+	r := New(2, 0.99, 10)
+	if got := r.Predict([]float64{1, 1}); got != 0 {
+		t.Fatalf("untrained prediction = %v, want 0", got)
+	}
+}
+
+func TestRLSDimensionPanics(t *testing.T) {
+	r := New(2, 0.99, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	r.Update([]float64{1, 2, 3}, 1)
+}
+
+func TestRLSInvalidParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 0.9, 1) },
+		func() { New(2, 0, 1) },
+		func() { New(2, 1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for invalid constructor args")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRLSReset(t *testing.T) {
+	r := New(2, 0.95, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		x := []float64{1, rng.NormFloat64()}
+		r.Update(x, 2*x[0]+x[1])
+	}
+	w0 := append([]float64(nil), r.W...)
+	r.Reset(10)
+	for i := range w0 {
+		if r.W[i] != w0[i] {
+			t.Fatal("Reset must keep weights")
+		}
+	}
+	if math.Abs(r.TraceP()-20) > 1e-9 {
+		t.Fatalf("trace after reset = %v, want 20", r.TraceP())
+	}
+}
+
+func TestRLSErrorShrinksProperty(t *testing.T) {
+	// On a noiseless linear system the a-priori error at the last step is
+	// (almost) zero regardless of the generating weights.
+	f := func(a, b float64) bool {
+		wa, wb := math.Mod(a, 10), math.Mod(b, 10)
+		rng := rand.New(rand.NewSource(7))
+		r := New(2, 1.0, 100)
+		var e float64
+		for i := 0; i < 200; i++ {
+			x := []float64{1, rng.NormFloat64()}
+			e = r.Update(x, wa*x[0]+wb*x[1])
+		}
+		return math.Abs(e) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package thermal
+
+import (
+	"fmt"
+
+	"socrm/internal/mathx"
+)
+
+// Kalman is a standard linear Kalman filter for the thermal state space,
+// used to estimate unmeasurable temperatures (the device skin) from a
+// subset of internal sensors (refs [26][27][28]).
+//
+//	x[k+1] = A x[k] + u[k] + w,  w ~ N(0, Q)
+//	z[k]   = H x[k] + v,         v ~ N(0, R)
+type Kalman struct {
+	A, H *mathx.Matrix
+	Q, R *mathx.Matrix
+	X    []float64     // state estimate
+	P    *mathx.Matrix // estimate covariance
+}
+
+// NewKalman constructs a filter with the given dynamics and initial state.
+func NewKalman(a, h, q, r *mathx.Matrix, x0 []float64, p0 *mathx.Matrix) *Kalman {
+	if a.Rows != len(x0) {
+		panic(fmt.Sprintf("thermal: kalman state dim %d vs A %dx%d", len(x0), a.Rows, a.Cols))
+	}
+	return &Kalman{A: a, H: h, Q: q, R: r, X: append([]float64(nil), x0...), P: p0.Clone()}
+}
+
+// Predict advances the state with known input u (B*P + ambient term already
+// folded in by the caller).
+func (k *Kalman) Predict(u []float64) {
+	k.X = mathx.AddVec(k.A.MulVec(k.X), u)
+	k.P = k.A.Mul(k.P).Mul(k.A.T()).Add(k.Q)
+}
+
+// Update corrects the estimate with measurement z. It returns an error only
+// if the innovation covariance is singular.
+func (k *Kalman) Update(z []float64) error {
+	ht := k.H.T()
+	s := k.H.Mul(k.P).Mul(ht).Add(k.R)
+	sInv, err := mathx.Inverse(s)
+	if err != nil {
+		return fmt.Errorf("thermal: innovation covariance singular: %w", err)
+	}
+	gain := k.P.Mul(ht).Mul(sInv)
+	innov := mathx.SubVec(z, k.H.MulVec(k.X))
+	k.X = mathx.AddVec(k.X, gain.MulVec(innov))
+	n := k.P.Rows
+	k.P = mathx.Identity(n).Sub(gain.Mul(k.H)).Mul(k.P)
+	return nil
+}
+
+// SelectionMatrix builds the measurement matrix H that observes exactly the
+// given state indices.
+func SelectionMatrix(stateDim int, sensors []int) *mathx.Matrix {
+	h := mathx.NewMatrix(len(sensors), stateDim)
+	for r, s := range sensors {
+		h.Set(r, s, 1)
+	}
+	return h
+}
+
+// SteadyStateCov iterates the Riccati recursion for the given sensor set and
+// returns the (approximately) converged posterior covariance trace — the
+// estimation-quality metric greedy sensor selection minimizes (ref [28]).
+func SteadyStateCov(a, q *mathx.Matrix, sensors []int, rNoise float64, iters int) float64 {
+	n := a.Rows
+	h := SelectionMatrix(n, sensors)
+	r := mathx.Identity(len(sensors)).Scale(rNoise)
+	p := mathx.Identity(n)
+	for it := 0; it < iters; it++ {
+		// Predict.
+		p = a.Mul(p).Mul(a.T()).Add(q)
+		if len(sensors) == 0 {
+			continue
+		}
+		// Update.
+		s := h.Mul(p).Mul(h.T()).Add(r)
+		sInv, err := mathx.Inverse(s)
+		if err != nil {
+			return trace(p)
+		}
+		gain := p.Mul(h.T()).Mul(sInv)
+		p = mathx.Identity(n).Sub(gain.Mul(h)).Mul(p)
+	}
+	return trace(p)
+}
+
+func trace(m *mathx.Matrix) float64 {
+	t := 0.0
+	for i := 0; i < m.Rows; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// GreedySensorSelection picks k sensor locations from candidates that
+// greedily minimize the steady-state Kalman covariance trace — the greedy
+// algorithm ref [28] proves near-optimal for this (weakly submodular)
+// objective.
+func GreedySensorSelection(a, q *mathx.Matrix, candidates []int, k int, rNoise float64) []int {
+	chosen := []int{}
+	remaining := append([]int(nil), candidates...)
+	for len(chosen) < k && len(remaining) > 0 {
+		bestIdx, bestCost := -1, 0.0
+		for i, c := range remaining {
+			trial := append(append([]int(nil), chosen...), c)
+			cost := SteadyStateCov(a, q, trial, rNoise, 60)
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost = i, cost
+			}
+		}
+		chosen = append(chosen, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return chosen
+}

@@ -1,0 +1,99 @@
+package thermal
+
+import (
+	"testing"
+
+	"socrm/internal/mathx"
+)
+
+func TestKalmanScalarConverges(t *testing.T) {
+	// Static scalar state observed with noise-free measurements: the
+	// estimate must converge to the true value.
+	a := mathx.Identity(1)
+	h := mathx.Identity(1)
+	q := mathx.Identity(1).Scale(1e-8)
+	r := mathx.Identity(1).Scale(1e-4)
+	k := NewKalman(a, h, q, r, []float64{0}, mathx.Identity(1))
+	for i := 0; i < 50; i++ {
+		k.Predict([]float64{0})
+		if err := k.Update([]float64{10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := k.X[0] - 10; d > 0.01 || d < -0.01 {
+		t.Fatalf("estimate %v, want 10", k.X[0])
+	}
+}
+
+func TestSelectionMatrix(t *testing.T) {
+	h := SelectionMatrix(4, []int{1, 3})
+	if h.Rows != 2 || h.Cols != 4 {
+		t.Fatalf("shape %dx%d", h.Rows, h.Cols)
+	}
+	z := h.MulVec([]float64{10, 20, 30, 40})
+	if z[0] != 20 || z[1] != 40 {
+		t.Fatalf("selection = %v", z)
+	}
+}
+
+func TestMoreSensorsLowerCovariance(t *testing.T) {
+	m := NewMobileModel()
+	q := mathx.Identity(m.Dim()).Scale(1e-3)
+	one := SteadyStateCov(m.A, q, []int{0}, 0.1, 80)
+	three := SteadyStateCov(m.A, q, []int{0, 2, 3}, 0.1, 80)
+	if three >= one {
+		t.Fatalf("3 sensors (%v) should beat 1 sensor (%v)", three, one)
+	}
+	none := SteadyStateCov(m.A, q, nil, 0.1, 80)
+	if none <= one {
+		t.Fatalf("no sensors (%v) should be worst (vs %v)", none, one)
+	}
+}
+
+func TestGreedySensorSelection(t *testing.T) {
+	m := NewMobileModel()
+	q := mathx.Identity(m.Dim()).Scale(1e-3)
+	candidates := []int{0, 1, 2, 3} // internal die sensors only
+	chosen := GreedySensorSelection(m.A, q, candidates, 2, 0.1)
+	if len(chosen) != 2 {
+		t.Fatalf("chose %d sensors, want 2", len(chosen))
+	}
+	if chosen[0] == chosen[1] {
+		t.Fatal("duplicate sensor chosen")
+	}
+	// The greedy pair must not be worse than an arbitrary fixed pair.
+	greedy := SteadyStateCov(m.A, q, chosen, 0.1, 80)
+	fixed := SteadyStateCov(m.A, q, []int{0, 1}, 0.1, 80)
+	if greedy > fixed+1e-9 {
+		t.Fatalf("greedy pair %v (%v) worse than fixed pair (%v)", chosen, greedy, fixed)
+	}
+}
+
+func TestSkinEstimatorTracks(t *testing.T) {
+	m := NewMobileModel()
+	power := func(k int) []float64 {
+		// A workload that turns on and off: 2.5 W bursts on the big
+		// cluster plus GPU activity.
+		if (k/100)%2 == 0 {
+			return []float64{2.5, 0.3, 1.2, 0.5, 0}
+		}
+		return []float64{0.3, 0.1, 0.1, 0.2, 0}
+	}
+	rmse := SimulateSkinTracking(m, []int{0, 1, 2, 3}, power, 800, 0.2, 7)
+	if rmse < 0 {
+		t.Fatal("estimator failed")
+	}
+	if rmse > 0.5 {
+		t.Fatalf("skin tracking RMSE %v C too large", rmse)
+	}
+}
+
+func TestSkinEstimatorFewerSensorsWorse(t *testing.T) {
+	m := NewMobileModel()
+	power := func(k int) []float64 { return []float64{2, 0.5, 1, 0.5, 0} }
+	all := SimulateSkinTracking(m, []int{0, 1, 2, 3}, power, 600, 0.3, 11)
+	one := SimulateSkinTracking(m, []int{1}, power, 600, 0.3, 11)
+	if all > one {
+		t.Fatalf("4 sensors RMSE %v should not exceed 1 sensor %v", all, one)
+	}
+}

@@ -1,0 +1,86 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+
+	"socrm/internal/mathx"
+)
+
+// SkinEstimator estimates the device skin temperature — which has no
+// physical sensor in practice (Section III-A) — from a chosen subset of
+// internal die sensors, using the thermal model and a Kalman filter.
+type SkinEstimator struct {
+	model   *Model
+	kalman  *Kalman
+	sensors []int
+	skinIdx int
+}
+
+// NewSkinEstimator builds an estimator observing the given internal sensor
+// nodes. measNoise is the sensor noise variance; procNoise the model
+// mismatch variance.
+func NewSkinEstimator(m *Model, sensors []int, measNoise, procNoise float64, t0 []float64) *SkinEstimator {
+	n := m.Dim()
+	h := SelectionMatrix(n, sensors)
+	q := mathx.Identity(n).Scale(procNoise)
+	r := mathx.Identity(len(sensors)).Scale(measNoise)
+	p0 := mathx.Identity(n).Scale(1.0)
+	return &SkinEstimator{
+		model:   m,
+		kalman:  NewKalman(m.A, h, q, r, t0, p0),
+		sensors: sensors,
+		skinIdx: n - 1, // skin is the last node in NewMobileModel
+	}
+}
+
+// Step runs one predict/update cycle: p is the applied power vector and
+// meas the noisy readings of the selected sensors. It returns the skin
+// temperature estimate.
+func (e *SkinEstimator) Step(p, meas []float64) (float64, error) {
+	u := e.model.B.MulVec(p)
+	for i := range u {
+		u[i] += e.model.Gamb[i] * e.model.Tamb
+	}
+	e.kalman.Predict(u)
+	if err := e.kalman.Update(meas); err != nil {
+		return 0, err
+	}
+	return e.kalman.X[e.skinIdx], nil
+}
+
+// Estimate returns the full current state estimate.
+func (e *SkinEstimator) Estimate() []float64 {
+	return append([]float64(nil), e.kalman.X...)
+}
+
+// SimulateSkinTracking runs the true model and the estimator side by side
+// for steps control periods under the power schedule produced by powerAt,
+// and returns the RMS skin-temperature estimation error. It is both a test
+// harness and the example workload for examples/thermal-budget.
+func SimulateSkinTracking(m *Model, sensors []int, powerAt func(k int) []float64, steps int, measNoise float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := m.Dim()
+	tTrue := make([]float64, n)
+	for i := range tTrue {
+		tTrue[i] = m.Tamb
+	}
+	est := NewSkinEstimator(m, sensors, measNoise, 1e-4, tTrue)
+	skin := m.Dim() - 1
+	var sse float64
+	meas := make([]float64, len(sensors))
+	for k := 0; k < steps; k++ {
+		p := powerAt(k)
+		tTrue = m.Step(tTrue, p)
+		for i, s := range sensors {
+			meas[i] = tTrue[s] + rng.NormFloat64()*measNoise
+		}
+		got, err := est.Step(p, meas)
+		if err != nil {
+			return -1
+		}
+		d := got - tTrue[skin]
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(steps))
+}

@@ -1,0 +1,162 @@
+// Package thermal implements the power/thermal modeling layer of Section
+// III-A: a discrete-time RC thermal network (refs [23][24]), the
+// power-temperature fixed-point and stability analysis of ref [25], the
+// power-budgeting methodology of ref [24], and skin-temperature estimation
+// with Kalman filtering and greedy sensor selection (refs [26][27][28]).
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"socrm/internal/mathx"
+)
+
+// Model is the linear thermal state-space
+//
+//	T[k+1] = A*T[k] + B*P[k] + Gamb*Tamb
+//
+// where T are node temperatures (Celsius), P per-node power inputs (watts)
+// and Tamb the ambient temperature.
+type Model struct {
+	A     *mathx.Matrix
+	B     *mathx.Matrix
+	Gamb  []float64 // ambient conductance column
+	Tamb  float64
+	Names []string // node names
+	Dt    float64  // seconds per step
+}
+
+// NewMobileModel returns a five-node model calibrated for a passively
+// cooled mobile SoC: big cluster, little cluster, GPU, memory/uncore and the
+// device skin. Heat flows between neighbouring nodes and out to ambient
+// through the skin.
+func NewMobileModel() *Model {
+	// Node order: 0=big, 1=little, 2=gpu, 3=mem, 4=skin.
+	names := []string{"big", "little", "gpu", "mem", "skin"}
+	n := len(names)
+	// Thermal capacitance (J/K) and conductances (W/K).
+	cap := []float64{3.0, 2.0, 2.5, 4.0, 40.0}
+	// g[i][j]: conductance between node i and j (symmetric).
+	g := mathx.NewMatrix(n, n)
+	set := func(i, j int, v float64) { g.Set(i, j, v); g.Set(j, i, v) }
+	set(0, 1, 0.50) // big-little share the die
+	set(0, 2, 0.35)
+	set(1, 2, 0.30)
+	set(0, 3, 0.25)
+	set(2, 3, 0.30)
+	set(0, 4, 0.30) // everything couples to the skin
+	set(1, 4, 0.25)
+	set(2, 4, 0.28)
+	set(3, 4, 0.35)
+	// Ambient conductance: only the skin loses heat to air effectively.
+	gamb := []float64{0.02, 0.02, 0.02, 0.03, 0.9}
+
+	dt := 0.1 // 100 ms control step
+	a := mathx.Identity(n)
+	b := mathx.NewMatrix(n, n)
+	gambCol := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag := gamb[i]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			diag += g.At(i, j)
+			a.Set(i, j, dt*g.At(i, j)/cap[i])
+		}
+		a.Set(i, i, 1-dt*diag/cap[i])
+		b.Set(i, i, dt/cap[i])
+		gambCol[i] = dt * gamb[i] / cap[i]
+	}
+	return &Model{A: a, B: b, Gamb: gambCol, Tamb: 25, Names: names, Dt: dt}
+}
+
+// Dim returns the number of thermal nodes.
+func (m *Model) Dim() int { return m.A.Rows }
+
+// Step advances the model one control period.
+func (m *Model) Step(t, p []float64) []float64 {
+	next := m.A.MulVec(t)
+	bp := m.B.MulVec(p)
+	for i := range next {
+		next[i] += bp[i] + m.Gamb[i]*m.Tamb
+	}
+	return next
+}
+
+// Stable reports whether the thermal dynamics are stable (spectral radius
+// of A below one), the existence condition of ref [25]'s thermal fixed
+// point.
+func (m *Model) Stable() bool {
+	return mathx.SpectralRadius(m.A, 200) < 1
+}
+
+// FixedPoint returns the steady-state temperature under constant power p:
+// T* = (I-A)^-1 (B p + Gamb*Tamb). This is the "thermal fixed point" of
+// ref [25].
+func (m *Model) FixedPoint(p []float64) ([]float64, error) {
+	n := m.Dim()
+	if len(p) != n {
+		return nil, fmt.Errorf("thermal: power dim %d, want %d", len(p), n)
+	}
+	rhs := m.B.MulVec(p)
+	for i := range rhs {
+		rhs[i] += m.Gamb[i] * m.Tamb
+	}
+	ia := mathx.Identity(n).Sub(m.A)
+	return mathx.Solve(ia, rhs)
+}
+
+// ErrUnstable is returned when the dynamics have no stable fixed point.
+var ErrUnstable = errors.New("thermal: dynamics unstable, no fixed point")
+
+// PowerBudget returns the largest uniform scaling alpha of the power vector
+// p such that every node's fixed-point temperature stays at or below tMax.
+// This is the sustained-power budget of ref [24] used to throttle frequency
+// before a thermal violation occurs.
+func (m *Model) PowerBudget(p []float64, tMax float64) (float64, error) {
+	if !m.Stable() {
+		return 0, ErrUnstable
+	}
+	// Fixed point is affine in alpha: T*(alpha) = T0 + alpha*Tp where T0 is
+	// the zero-power fixed point and Tp the power-induced rise.
+	zero := make([]float64, m.Dim())
+	t0, err := m.FixedPoint(zero)
+	if err != nil {
+		return 0, err
+	}
+	t1, err := m.FixedPoint(p)
+	if err != nil {
+		return 0, err
+	}
+	alpha := 1e18
+	for i := range t0 {
+		rise := t1[i] - t0[i]
+		if rise <= 1e-12 {
+			continue
+		}
+		head := tMax - t0[i]
+		if head <= 0 {
+			return 0, nil
+		}
+		if a := head / rise; a < alpha {
+			alpha = a
+		}
+	}
+	if alpha == 1e18 {
+		return 0, fmt.Errorf("thermal: power vector heats no node")
+	}
+	return alpha, nil
+}
+
+// PredictAt returns the temperature trajectory after k steps of constant
+// power p from initial temperature t0 (the future-temperature prediction of
+// ref [24]).
+func (m *Model) PredictAt(t0, p []float64, k int) []float64 {
+	t := append([]float64(nil), t0...)
+	for i := 0; i < k; i++ {
+		t = m.Step(t, p)
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"socrm/internal/mathx"
+)
+
+func TestModelStable(t *testing.T) {
+	m := NewMobileModel()
+	if !m.Stable() {
+		t.Fatal("mobile model must be stable (spectral radius < 1)")
+	}
+}
+
+func TestFixedPointZeroPowerIsAmbient(t *testing.T) {
+	m := NewMobileModel()
+	fp, err := m.FixedPoint(make([]float64, m.Dim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, temp := range fp {
+		if math.Abs(temp-m.Tamb) > 0.5 {
+			t.Fatalf("node %d zero-power fixed point %v far from ambient %v", i, temp, m.Tamb)
+		}
+	}
+}
+
+func TestFixedPointMatchesSimulation(t *testing.T) {
+	m := NewMobileModel()
+	p := []float64{2.5, 0.5, 1.0, 0.8, 0}
+	fp, err := m.FixedPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long simulation must converge to the analytical fixed point (the
+	// defining property of ref [25]'s thermal fixed point).
+	temps := make([]float64, m.Dim())
+	for i := range temps {
+		temps[i] = m.Tamb
+	}
+	temps = m.PredictAt(temps, p, 20000)
+	for i := range fp {
+		if math.Abs(temps[i]-fp[i]) > 0.01 {
+			t.Fatalf("node %d: simulated %v vs fixed point %v", i, temps[i], fp[i])
+		}
+	}
+}
+
+func TestFixedPointMonotoneInPower(t *testing.T) {
+	m := NewMobileModel()
+	f := func(raw uint8) bool {
+		scale := 0.5 + float64(raw%40)/10 // 0.5 .. 4.4 W on the big cluster
+		p := make([]float64, m.Dim())
+		p[0] = scale
+		fp, err := m.FixedPoint(p)
+		if err != nil {
+			return false
+		}
+		p[0] = scale * 2
+		fp2, err := m.FixedPoint(p)
+		if err != nil {
+			return false
+		}
+		// More power, strictly hotter everywhere (connected network).
+		for i := range fp {
+			if fp2[i] <= fp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerBudget(t *testing.T) {
+	m := NewMobileModel()
+	p := []float64{3, 1, 2, 1, 0}
+	tMax := 70.0
+	alpha, err := m.PowerBudget(p, tMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 {
+		t.Fatalf("budget alpha = %v", alpha)
+	}
+	// At the budget, the hottest node hits tMax exactly.
+	scaled := make([]float64, len(p))
+	for i := range p {
+		scaled[i] = alpha * p[i]
+	}
+	fp, err := m.FixedPoint(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hottest := fp[0]
+	for _, v := range fp {
+		if v > hottest {
+			hottest = v
+		}
+	}
+	if math.Abs(hottest-tMax) > 0.01 {
+		t.Fatalf("hottest node at budget = %v, want %v", hottest, tMax)
+	}
+	// Exceeding the budget violates the constraint.
+	for i := range scaled {
+		scaled[i] *= 1.2
+	}
+	fp, _ = m.FixedPoint(scaled)
+	over := false
+	for _, v := range fp {
+		if v > tMax {
+			over = true
+		}
+	}
+	if !over {
+		t.Fatal("20% over budget should violate the temperature limit")
+	}
+}
+
+func TestPowerBudgetErrors(t *testing.T) {
+	m := NewMobileModel()
+	// No heating vector.
+	if _, err := m.PowerBudget(make([]float64, m.Dim()), 70); err == nil {
+		t.Fatal("expected error for zero power vector")
+	}
+	// Unstable dynamics.
+	bad := NewMobileModel()
+	bad.A = mathx.Identity(bad.Dim()).Scale(1.05)
+	if _, err := bad.PowerBudget([]float64{1, 0, 0, 0, 0}, 70); err == nil {
+		t.Fatal("expected ErrUnstable")
+	}
+}
+
+func TestStepDimensions(t *testing.T) {
+	m := NewMobileModel()
+	temps := make([]float64, m.Dim())
+	for i := range temps {
+		temps[i] = 40
+	}
+	next := m.Step(temps, []float64{1, 1, 1, 1, 0})
+	if len(next) != m.Dim() {
+		t.Fatalf("step output dim %d", len(next))
+	}
+}
+
+func TestSkinHeatsSlowly(t *testing.T) {
+	// The skin node has large capacitance: after a power step the die
+	// nodes must lead the skin.
+	m := NewMobileModel()
+	temps := make([]float64, m.Dim())
+	for i := range temps {
+		temps[i] = m.Tamb
+	}
+	p := []float64{3, 0, 0, 0, 0}
+	temps = m.PredictAt(temps, p, 50) // 5 s
+	big, skin := temps[0], temps[m.Dim()-1]
+	if big-m.Tamb < 2*(skin-m.Tamb) {
+		t.Fatalf("die (%v) should heat much faster than skin (%v)", big, skin)
+	}
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	if got := len(MiBench(1)); got != 10 {
+		t.Fatalf("MiBench has %d apps, want 10", got)
+	}
+	if got := len(Cortex(1)); got != 4 {
+		t.Fatalf("Cortex has %d apps, want 4", got)
+	}
+	if got := len(Parsec(1)); got != 2 {
+		t.Fatalf("Parsec has %d apps, want 2", got)
+	}
+	if got := len(AllApps(1)); got != 16 {
+		t.Fatalf("AllApps has %d apps, want 16 (Figure 4 x-axis)", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := AllApps(42)
+	b := AllApps(42)
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Snippets) != len(b[i].Snippets) {
+			t.Fatalf("app %d differs between generations", i)
+		}
+		for j := range a[i].Snippets {
+			if a[i].Snippets[j] != b[i].Snippets[j] {
+				t.Fatalf("%s snippet %d not deterministic", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	a := MiBench(1)[0]
+	b := MiBench(2)[0]
+	same := true
+	for j := range a.Snippets {
+		if a.Snippets[j] != b.Snippets[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different snippets")
+	}
+}
+
+func TestSnippetBounds(t *testing.T) {
+	for _, app := range AllApps(7) {
+		for i, s := range app.Snippets {
+			if s.Instructions != SnippetInstructions {
+				t.Fatalf("%s[%d]: instructions %v", app.Name, i, s.Instructions)
+			}
+			if s.MemIntensity <= 0 || s.MemIntensity > 0.6 {
+				t.Fatalf("%s[%d]: mem intensity %v out of range", app.Name, i, s.MemIntensity)
+			}
+			if s.L2MissRate <= 0 || s.L2MissRate > 0.45 {
+				t.Fatalf("%s[%d]: miss rate %v out of range", app.Name, i, s.L2MissRate)
+			}
+			if s.BaseCPI < 0.5 || s.BaseCPI > 3 {
+				t.Fatalf("%s[%d]: base CPI %v out of range", app.Name, i, s.BaseCPI)
+			}
+			if s.Threads < 1 || s.Threads > 4 {
+				t.Fatalf("%s[%d]: threads %d", app.Name, i, s.Threads)
+			}
+		}
+	}
+}
+
+func TestSuiteCharacteristicsShift(t *testing.T) {
+	// The distribution shift driving Table II: Cortex-like apps must be
+	// substantially more memory intensive than every Mi-Bench-like app.
+	maxMi := 0.0
+	for _, app := range MiBench(42) {
+		for _, s := range app.Snippets {
+			prod := s.MemIntensity * s.L2MissRate
+			if prod > maxMi {
+				maxMi = prod
+			}
+		}
+	}
+	kmeans, err := ByName("Kmeans", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minK := 1.0
+	for _, s := range kmeans.Snippets {
+		prod := s.MemIntensity * s.L2MissRate
+		if prod < minK {
+			minK = prod
+		}
+	}
+	if minK <= maxMi {
+		t.Fatalf("Kmeans min mem product %v should exceed Mi-Bench max %v", minK, maxMi)
+	}
+}
+
+func TestByName(t *testing.T) {
+	app, err := ByName("FFT", 1)
+	if err != nil || app.Name != "FFT" {
+		t.Fatalf("ByName(FFT) = %v, %v", app.Name, err)
+	}
+	if _, err := ByName("nonexistent", 1); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestSequence(t *testing.T) {
+	apps := Cortex(1)
+	seq := NewSequence(apps...)
+	wantLen := 0
+	for _, a := range apps {
+		wantLen += len(a.Snippets)
+	}
+	if seq.Len() != wantLen {
+		t.Fatalf("sequence length %d, want %d", seq.Len(), wantLen)
+	}
+	if len(seq.Boundaries) != len(apps) {
+		t.Fatalf("boundaries %d, want %d", len(seq.Boundaries), len(apps))
+	}
+	// AppIdx must be consistent with boundaries.
+	for i, b := range seq.Boundaries {
+		if seq.AppIdx[b] != i {
+			t.Fatalf("AppIdx[%d] = %d, want %d", b, seq.AppIdx[b], i)
+		}
+	}
+}
+
+func TestCalibrationSweep(t *testing.T) {
+	app := Calibration()
+	if len(app.Snippets) != 80 {
+		t.Fatalf("calibration has %d snippets, want 80", len(app.Snippets))
+	}
+	// It must span the memory-intensity range the suites cover.
+	lo, hi := 1.0, 0.0
+	for _, s := range app.Snippets {
+		if s.MemIntensity < lo {
+			lo = s.MemIntensity
+		}
+		if s.MemIntensity > hi {
+			hi = s.MemIntensity
+		}
+	}
+	if lo > 0.05 || hi < 0.45 {
+		t.Fatalf("calibration mem range [%v, %v] too narrow", lo, hi)
+	}
+}
+
+func TestSeedForStability(t *testing.T) {
+	f := func(seed int64) bool {
+		return seedFor("abc", seed) == seedFor("abc", seed) &&
+			seedFor("abc", seed) != seedFor("abd", seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
