@@ -15,8 +15,10 @@
 package socrm
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"socrm/internal/control"
 	"socrm/internal/experiments"
@@ -150,7 +152,7 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 func BenchmarkAblationForgetting(b *testing.B) {
 	var staff, rls090 float64
 	for i := 0; i < b.N; i++ {
-		for _, p := range experiments.ForgettingAblation(42) {
+		for _, p := range experiments.ForgettingAblation(42, 0) {
 			switch p.Name {
 			case "staff":
 				staff = p.MAPE
@@ -182,7 +184,7 @@ func BenchmarkAblationNeighborhood(b *testing.B) {
 func BenchmarkAblationHorizon(b *testing.B) {
 	var save5, save120 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.CadenceAblation(42, []int{5, 120})
+		pts, err := experiments.CadenceAblation(42, []int{5, 120}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,6 +192,76 @@ func BenchmarkAblationHorizon(b *testing.B) {
 	}
 	b.ReportMetric(100*save5, "save_pct_k5")
 	b.ReportMetric(100*save120, "save_pct_k120")
+}
+
+// ---- Experiment-engine benchmarks: serial vs pooled wall-time ----
+// The engine guarantees bit-identical outputs for any worker count, so
+// these only measure scheduling. speedup_x on an N-core runner should
+// approach N for the Oracle-labeling-dominated study construction.
+
+// BenchmarkNewStudySerial is the fully serial reference (workers=1).
+// Note: the seed's NewStudy was already snippet-parallel inside
+// LabelApp, so speedup_x measures pool-vs-serial scheduling, not a
+// before/after-this-PR comparison.
+func BenchmarkNewStudySerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewStudy(experiments.Options{Seed: 42, MaxSnippets: 16, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewStudyParallel runs the same construction on a full pool.
+func BenchmarkNewStudyParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewStudy(experiments.Options{Seed: 42, MaxSnippets: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewStudySpeedup times both paths back to back and reports the
+// parallel-over-serial speedup directly.
+func BenchmarkNewStudySpeedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := experiments.NewStudy(experiments.Options{Seed: 42, MaxSnippets: 16, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+		t1 := time.Now()
+		if _, err := experiments.NewStudy(experiments.Options{Seed: 42, MaxSnippets: 16}); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t1)
+		speedup = serial.Seconds() / parallel.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// BenchmarkFig5Speedup measures the pooled Figure 5 sweep against its
+// serial reference the same way.
+func BenchmarkFig5Speedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		opt := experiments.DefaultFig5Options()
+		opt.Workers = 1
+		t0 := time.Now()
+		if _, err := experiments.Fig5(opt); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+		opt.Workers = 0
+		t1 := time.Now()
+		if _, err := experiments.Fig5(opt); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t1)
+		speedup = serial.Seconds() / parallel.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup_x")
 }
 
 // ---- Microbenchmarks: the per-decision costs the paper cares about ----

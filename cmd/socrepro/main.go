@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	socrepro -exp all|fig2|tab2|fig3|fig4|fig5 [-seed N] [-snippets N] [-csv dir]
+//	socrepro -exp all|fig2|tab2|fig3|fig4|fig5 [-seed N] [-snippets N] [-workers N] [-csv dir]
 //
 // -snippets caps the per-application snippet count (0 = paper-scale runs);
-// -csv additionally writes each experiment's raw series to <dir>/<exp>.csv
+// -workers bounds the experiment engine's worker pool (default NumCPU,
+// 1 = fully serial reference — outputs are bit-identical either way); -csv
+// additionally writes each experiment's raw series to <dir>/<exp>.csv
 // for external plotting.
 package main
 
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 
 	"socrm/internal/experiments"
@@ -50,10 +53,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig2, tab2, fig3, fig4, fig5")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	snippets := flag.Int("snippets", 0, "per-app snippet cap (0 = full)")
+	workers := flag.Int("workers", runtime.NumCPU(), "experiment-engine worker pool size (1 = serial)")
 	flag.StringVar(&csvDir, "csv", "", "directory for raw CSV output (empty = none)")
 	flag.Parse()
 
-	opt := experiments.Options{Seed: *seed, MaxSnippets: *snippets}
+	opt := experiments.Options{Seed: *seed, MaxSnippets: *snippets, Workers: *workers}
 	var study *experiments.Study
 	getStudy := func() *experiments.Study {
 		if study == nil {
@@ -72,7 +76,7 @@ func main() {
 		"tab2": func() { runTable2(getStudy()) },
 		"fig3": func() { runFig3(getStudy()) },
 		"fig4": func() { runFig4(getStudy()) },
-		"fig5": func() { runFig5(*seed) },
+		"fig5": func() { runFig5(*seed, *workers) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig2", "tab2", "fig3", "fig4", "fig5"} {
@@ -181,10 +185,11 @@ func runFig4(s *experiments.Study) {
 	fmt.Printf("worst case: online-IL %.2fx, RL %.2fx (paper: IL ~1.0, RL up to 1.4x)\n", worstIL, worstRL)
 }
 
-func runFig5(seed int64) {
+func runFig5(seed int64, workers int) {
 	fmt.Println("=== Figure 5: explicit NMPC energy savings vs baseline ===")
 	opt := experiments.DefaultFig5Options()
 	opt.Seed = seed
+	opt.Workers = workers
 	res, err := experiments.Fig5(opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "socrepro:", err)

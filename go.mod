@@ -1,0 +1,3 @@
+module socrm
+
+go 1.24

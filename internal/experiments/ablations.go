@@ -32,8 +32,9 @@ func (s *Study) BufferSizeAblation(caps []int) []BufferPoint {
 	for _, app := range seq.Apps {
 		orcE += s.OracleEnergy(app.Name)
 	}
-	out := make([]BufferPoint, 0, len(caps))
-	for _, cap := range caps {
+	// Every capacity is an independent deployment with its own controller;
+	// the grid runs on the pool and points come back in cap order.
+	return MapJobs(s.workers(), caps, func(_ int, cap int) BufferPoint {
 		oil := s.FreshOnlineIL()
 		oil.BufferCap = cap
 		run, pts := s.accuracyRun(seq, oil, oil, 10)
@@ -53,9 +54,8 @@ func (s *Study) BufferSizeAblation(caps []int) []BufferPoint {
 		if n := len(pts); n > 0 {
 			p.FinalAcc = pts[n-1].Accuracy
 		}
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // NeighborhoodPoint is one row of the candidate-radius ablation.
@@ -75,8 +75,7 @@ func (s *Study) NeighborhoodAblation(radii []int) []NeighborhoodPoint {
 	for _, app := range seq.Apps {
 		orcE += s.OracleEnergy(app.Name)
 	}
-	out := make([]NeighborhoodPoint, 0, len(radii))
-	for _, r := range radii {
+	return MapJobs(s.workers(), radii, func(_ int, r int) NeighborhoodPoint {
 		oil := s.FreshOnlineIL()
 		oil.Radius = r
 		run, pts := s.accuracyRun(seq, oil, oil, 10)
@@ -93,9 +92,8 @@ func (s *Study) NeighborhoodAblation(radii []int) []NeighborhoodPoint {
 				break
 			}
 		}
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // ForgettingPoint is one row of the forgetting-factor ablation.
@@ -109,24 +107,27 @@ type ForgettingPoint struct {
 // RLS with several fixed forgetting factors against STAFF. Fixed small
 // lambdas diverge once the governor settles (poor excitation); lambda = 1
 // cannot track frequency changes; STAFF adapts and stays stable —
-// ref [30]'s motivation, measured.
-func ForgettingAblation(seed int64) []ForgettingPoint {
+// ref [30]'s motivation, measured. Each predictor variant gets its own
+// device instance, so the five runs are independent pool jobs
+// (workers: 0 = GOMAXPROCS, 1 = serial).
+func ForgettingAblation(seed int64, workers int) []ForgettingPoint {
 	trace := workload.Nenamark2(30, seed)
-	var out []ForgettingPoint
-	for _, lam := range []float64{0.90, 0.96, 0.995, 1.0} {
+	// lambda < 0 marks the STAFF variant.
+	lambdas := []float64{0.90, 0.96, 0.995, 1.0, -1}
+	return MapJobs(workers, lambdas, func(_ int, lam float64) ForgettingPoint {
 		dev := gpu.NewIntelGen9()
+		if lam < 0 {
+			res := nmpc.RunFrameTimeExperimentWith(dev, trace, 60, nmpc.NewFrameTimePredictor(dev))
+			return ForgettingPoint{Name: "staff", MAPE: res.MAPE, WAPE: res.WAPE}
+		}
 		fp := nmpc.NewFrameTimePredictorRLS(dev, lam)
 		res := nmpc.RunFrameTimeExperimentWith(dev, trace, 60, fp)
-		out = append(out, ForgettingPoint{
+		return ForgettingPoint{
 			Name: "rls-" + formatLambda(lam),
 			MAPE: res.MAPE,
 			WAPE: res.WAPE,
-		})
-	}
-	dev := gpu.NewIntelGen9()
-	res := nmpc.RunFrameTimeExperimentWith(dev, trace, 60, nmpc.NewFrameTimePredictor(dev))
-	out = append(out, ForgettingPoint{Name: "staff", MAPE: res.MAPE, WAPE: res.WAPE})
-	return out
+		}
+	})
 }
 
 func formatLambda(l float64) string {
@@ -153,8 +154,10 @@ type CadencePoint struct {
 // CadenceAblation varies the slow-rate period of the explicit NMPC
 // controller on a moderately variable title: a too-eager slice cadence
 // pays reconfiguration energy and risks deadline misses; a too-slow one
-// leaves gating opportunity on the table.
-func CadenceAblation(seed int64, periods []int) ([]CadencePoint, error) {
+// leaves gating opportunity on the table. The device model and fitted
+// surfaces are read-only during runs, so the period grid runs on the
+// pool (workers: 0 = GOMAXPROCS, 1 = serial).
+func CadenceAblation(seed int64, periods []int, workers int) ([]CadencePoint, error) {
 	dev := gpu.NewIntelGen9()
 	trace := workload.Fig5Traces(30, seed)[0] // 3DMarkIceStorm: scene-heavy
 	budget := trace.Budget()
@@ -167,8 +170,7 @@ func CadenceAblation(seed int64, periods []int) ([]CadencePoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]CadencePoint, 0, len(periods))
-	for _, k := range periods {
+	out := MapJobs(workers, periods, func(_ int, k int) CadencePoint {
 		models := nmpc.NewGPUModels(dev)
 		models.Warmup(budget)
 		ctrl := &nmpc.Explicit{
@@ -177,13 +179,13 @@ func CadenceAblation(seed int64, periods []int) ([]CadencePoint, error) {
 			SlowPeriod: k, Margin: ref.Margin,
 		}
 		res := nmpc.RunTrace(dev, trace, ctrl, nmpc.RunOptions{Start: start})
-		out = append(out, CadencePoint{
+		return CadencePoint{
 			SlowPeriod: k,
 			GPUSavings: nmpc.Savings(base.EnergyGPU, res.EnergyGPU),
 			Reconfigs:  res.Reconfigs,
 			LateFrames: res.LateFrames,
-		})
-	}
+		}
+	})
 	return out, nil
 }
 
@@ -195,13 +197,16 @@ type ThermalPoint struct {
 
 // ThermalConditionStudy repeats the Figure 5 average at several platform
 // temperatures, checking the paper's claim that "the energy savings are
-// consistent at different platform thermal conditions".
-func ThermalConditionStudy(seed int64, temps []float64) ([]ThermalPoint, error) {
+// consistent at different platform thermal conditions". The temperature
+// loop stays serial — each Fig5 call already spreads its ten titles over
+// the pool, so nesting another pool level would only oversubscribe.
+func ThermalConditionStudy(seed int64, temps []float64, workers int) ([]ThermalPoint, error) {
 	out := make([]ThermalPoint, 0, len(temps))
 	for _, tc := range temps {
 		opt := DefaultFig5Options()
 		opt.Seed = seed
 		opt.Temp = tc
+		opt.Workers = workers
 		res, err := Fig5(opt)
 		if err != nil {
 			return nil, err

@@ -85,11 +85,26 @@ func (s *Study) Fig3() Fig3Result {
 	const window = 10
 	seq := workload.NewSequence(append(append([]workload.Application{}, s.Cortex...), s.Parsec...)...)
 
-	oil := s.FreshOnlineIL()
-	ilRun, ilPts := s.accuracyRun(seq, oil, oil, window)
-
-	qt := s.FreshQTable(6)
-	_, rlPts := s.accuracyRun(seq, qt, qt, window)
+	// The IL and RL deployments are independent closed-loop runs over the
+	// same (immutable) sequence; each job builds its own controller from
+	// the study's deterministic seeds.
+	type trace struct {
+		run control.RunResult
+		pts []AccuracyPoint
+	}
+	runs := MapJobs(s.workers(), []string{"il", "rl"}, func(_ int, kind string) trace {
+		var tr trace
+		if kind == "il" {
+			oil := s.FreshOnlineIL()
+			tr.run, tr.pts = s.accuracyRun(seq, oil, oil, window)
+		} else {
+			qt := s.FreshQTable(6)
+			tr.run, tr.pts = s.accuracyRun(seq, qt, qt, window)
+		}
+		return tr
+	})
+	ilRun, ilPts := runs[0].run, runs[0].pts
+	rlPts := runs[1].pts
 
 	res := Fig3Result{IL: ilPts, RL: rlPts, TotalTime: ilRun.Time}
 	res.ILConvergeTime = -1
@@ -138,13 +153,24 @@ func (s *Study) Fig4() []Fig4Row {
 		}
 	}
 
-	ilOff := control.Run(s.P, offline, s.FreshOnlineIL(), s.defaultStart())
-	rlOff := control.Run(s.P, offline, s.FreshQTable(6), s.defaultStart())
-	collect(offline, "offline", ilOff, rlOff)
-
-	ilOn := control.Run(s.P, online, s.FreshOnlineIL(), s.defaultStart())
-	rlOn := control.Run(s.P, online, s.FreshQTable(6), s.defaultStart())
-	collect(online, "online", ilOn, rlOn)
+	// Four independent deployments (two policies x two sequences), each
+	// with a freshly-seeded controller — one pool job apiece.
+	type deployment struct {
+		seq *workload.Sequence
+		il  bool
+	}
+	cells := []deployment{
+		{offline, true}, {offline, false},
+		{online, true}, {online, false},
+	}
+	runs := MapJobs(s.workers(), cells, func(_ int, d deployment) control.RunResult {
+		if d.il {
+			return control.Run(s.P, d.seq, s.FreshOnlineIL(), s.defaultStart())
+		}
+		return control.Run(s.P, d.seq, s.FreshQTable(6), s.defaultStart())
+	})
+	collect(offline, "offline", runs[0], runs[1])
+	collect(online, "online", runs[2], runs[3])
 
 	return rows
 }

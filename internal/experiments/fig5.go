@@ -31,6 +31,8 @@ type Fig5Options struct {
 	Seed int64
 	FPS  float64
 	Temp float64 // platform temperature; the paper notes savings hold across thermal conditions
+	// Workers bounds the per-trace worker pool: 0 = GOMAXPROCS, 1 = serial.
+	Workers int
 }
 
 // DefaultFig5Options matches the reproduction defaults.
@@ -58,7 +60,14 @@ func Fig5(opt Fig5Options) (Fig5Result, error) {
 	var res Fig5Result
 	var late, frames int
 	start := gpu.State{FreqIdx: len(dev.OPPs) / 2, Slices: dev.MaxSlices}
-	for _, tr := range traces {
+	// Each title runs baseline + NMPC against the read-only device model
+	// with a fresh controller (fresh online model state), so the ten
+	// titles are independent pool jobs; rows come back in trace order.
+	type traceOut struct {
+		row          Fig5Row
+		late, frames int
+	}
+	outs := MapJobs(opt.Workers, traces, func(_ int, tr workload.GraphicsTrace) traceOut {
 		base := nmpc.RunTrace(dev, tr, nmpc.NewBaseline(dev), nmpc.RunOptions{Start: start})
 
 		models := nmpc.NewGPUModels(dev)
@@ -70,14 +79,21 @@ func Fig5(opt Fig5Options) (Fig5Result, error) {
 		}
 		en := nmpc.RunTrace(dev, tr, ctrl, nmpc.RunOptions{Start: start})
 
-		res.Rows = append(res.Rows, Fig5Row{
-			App:        tr.Name,
-			GPUSavings: nmpc.Savings(base.EnergyGPU, en.EnergyGPU),
-			PKGSavings: nmpc.Savings(base.EnergyPKG, en.EnergyPKG),
-			PKGDRAMSav: nmpc.Savings(base.EnergyPKG+base.EnergyDRAM, en.EnergyPKG+en.EnergyDRAM),
-		})
-		late += en.LateFrames
-		frames += en.Frames
+		return traceOut{
+			row: Fig5Row{
+				App:        tr.Name,
+				GPUSavings: nmpc.Savings(base.EnergyGPU, en.EnergyGPU),
+				PKGSavings: nmpc.Savings(base.EnergyPKG, en.EnergyPKG),
+				PKGDRAMSav: nmpc.Savings(base.EnergyPKG+base.EnergyDRAM, en.EnergyPKG+en.EnergyDRAM),
+			},
+			late:   en.LateFrames,
+			frames: en.Frames,
+		}
+	})
+	for _, o := range outs {
+		res.Rows = append(res.Rows, o.row)
+		late += o.late
+		frames += o.frames
 	}
 	for _, r := range res.Rows {
 		res.Average.GPUSavings += r.GPUSavings

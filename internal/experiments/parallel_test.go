@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The engine's core promise: a parallel experiment run is bit-identical
+// to the fully serial one. These tests build the same reduced study with
+// workers=1 and with a saturated pool and compare every output
+// structurally (float64 fields included — the computations are identical
+// per job, only the scheduling differs, so even floating point must
+// match exactly).
+
+func buildStudy(t *testing.T, workers int) *Study {
+	t.Helper()
+	s, err := NewStudy(Options{Seed: 42, MaxSnippets: 6, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStudyDeterminismAcrossWorkers(t *testing.T) {
+	serial := buildStudy(t, 1)
+	parallel := buildStudy(t, 8)
+
+	for _, app := range serial.allApps() {
+		if !reflect.DeepEqual(serial.Labels(app.Name), parallel.Labels(app.Name)) {
+			t.Fatalf("%s: Oracle labels differ between workers=1 and workers=8", app.Name)
+		}
+	}
+	if !reflect.DeepEqual(serial.dataset, parallel.dataset) {
+		t.Fatal("offline IL dataset differs between worker counts")
+	}
+
+	if got, want := parallel.Table2(), serial.Table2(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Table2 differs:\nserial   %v\nparallel %v", want, got)
+	}
+	if got, want := parallel.Fig3(), serial.Fig3(); !reflect.DeepEqual(got, want) {
+		t.Fatal("Fig3 differs between worker counts")
+	}
+	if got, want := parallel.Fig4(), serial.Fig4(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Fig4 differs:\nserial   %v\nparallel %v", want, got)
+	}
+	if got, want := parallel.BufferSizeAblation([]int{4, 16}), serial.BufferSizeAblation([]int{4, 16}); !reflect.DeepEqual(got, want) {
+		t.Fatal("BufferSizeAblation differs between worker counts")
+	}
+}
+
+func TestFig5DeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) Fig5Result {
+		opt := DefaultFig5Options()
+		opt.Workers = workers
+		res, err := Fig5(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Fig5 differs between workers=1 and workers=8")
+	}
+}
+
+func TestAblationDeterminismAcrossWorkers(t *testing.T) {
+	if s, p := ForgettingAblation(42, 1), ForgettingAblation(42, 8); !reflect.DeepEqual(s, p) {
+		t.Fatal("ForgettingAblation differs between worker counts")
+	}
+	s, err := CadenceAblation(42, []int{10, 60}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CadenceAblation(42, []int{10, 60}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, p) {
+		t.Fatal("CadenceAblation differs between worker counts")
+	}
+}

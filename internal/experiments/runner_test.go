@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestRunJobsOrdering: results must be keyed by input index, not arrival
+// order, for every worker count.
+func TestRunJobsOrdering(t *testing.T) {
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i * 3
+	}
+	want := make([]int, len(inputs))
+	for i, v := range inputs {
+		want[i] = v + 1
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64, 1000} {
+		got, err := RunJobs(workers, inputs, func(j Job[int]) (int, error) {
+			runtime.Gosched() // shake completion order
+			return j.Input + 1, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results out of input order", workers)
+		}
+	}
+}
+
+// TestRunJobsError: the reported error is the lowest-indexed failure,
+// deterministically, and successful outputs are still delivered.
+func TestRunJobsError(t *testing.T) {
+	errA := errors.New("job 3 failed")
+	errB := errors.New("job 7 failed")
+	out, err := RunJobs(4, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(j Job[int]) (int, error) {
+		switch j.Index {
+		case 3:
+			return 0, errA
+		case 7:
+			return 0, errB
+		}
+		return j.Input * 2, nil
+	})
+	if err != errA {
+		t.Fatalf("got error %v, want the lowest-indexed failure %v", err, errA)
+	}
+	if out[2] != 4 || out[6] != 12 {
+		t.Fatalf("successful outputs lost: %v", out)
+	}
+}
+
+// TestRunJobsEmpty: zero jobs is a no-op for any worker count.
+func TestRunJobsEmpty(t *testing.T) {
+	out, err := RunJobs[int, int](8, nil, func(j Job[int]) (int, error) {
+		t.Fatal("fn called with no inputs")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+// TestRunJobsPerJobSeeds is the seeded-RNG plumbing contract, run under
+// -race in CI: every job derives its own *rand.Rand from a per-job seed,
+// so a parallel run is race-free and bit-identical to the serial one. A
+// single shared rand.Rand would both race and scramble the draws.
+func TestRunJobsPerJobSeeds(t *testing.T) {
+	const base = int64(42)
+	draw := func(j Job[int]) ([]float64, error) {
+		rng := rand.New(rand.NewSource(base + int64(j.Index)))
+		out := make([]float64, 16)
+		for k := range out {
+			out[k] = rng.NormFloat64()
+		}
+		return out, nil
+	}
+	inputs := make([]int, 32)
+	serial, err := RunJobs(1, inputs, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunJobs(8, inputs, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("per-job seeded draws differ between serial and parallel runs")
+	}
+}
+
+func TestMapJobs(t *testing.T) {
+	got := MapJobs(3, []string{"a", "bb", "ccc"}, func(i int, s string) int {
+		return i + len(s)
+	})
+	if !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNormWorkers(t *testing.T) {
+	if got := normWorkers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers=0 resolved to %d, want GOMAXPROCS", got)
+	}
+	if got := normWorkers(8, 3); got != 3 {
+		t.Fatalf("more workers than jobs: got %d, want 3", got)
+	}
+	if got := normWorkers(-5, 0); got != 1 {
+		t.Fatalf("degenerate request: got %d, want 1", got)
+	}
+}

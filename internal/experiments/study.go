@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"socrm/internal/control"
 	"socrm/internal/il"
@@ -23,7 +24,14 @@ import (
 type Options struct {
 	Seed        int64
 	MaxSnippets int // per-app snippet cap, 0 = full length
+	// Workers bounds the experiment engine's worker pool: 0 means
+	// GOMAXPROCS, 1 is a fully serial reference path. Outputs are identical for
+	// any value — only wall-time changes.
+	Workers int
 }
+
+// workers returns the study's worker-pool bound (0 = GOMAXPROCS).
+func (s *Study) workers() int { return s.Opt.Workers }
 
 // DefaultOptions returns the paper-scale configuration.
 func DefaultOptions() Options { return Options{Seed: 42} }
@@ -58,8 +66,27 @@ func NewStudy(opt Options) (*Study, error) {
 		labels:  map[string][]oracle.Label{},
 	}
 	s.Orc = oracle.New(s.P, oracle.Energy)
-	for _, app := range s.allApps() {
-		s.labels[app.Name] = s.Orc.LabelApp(app)
+	// Oracle labeling is the expensive step (a full configuration-space
+	// sweep per snippet) and every application is independent, so it runs
+	// on the worker pool: one job per app. On machines with more cores
+	// than apps the app-level fan-out alone would strand cores, so each
+	// app job also gets the pool's spare capacity for its per-snippet
+	// sweeps, keeping total concurrency ~= the pool bound. Labels land by
+	// app name and snippet index, so neither level affects the result.
+	apps := s.allApps()
+	pool := runtime.GOMAXPROCS(0)
+	if s.workers() > 0 {
+		pool = s.workers()
+	}
+	innerWorkers := 1
+	if len(apps) > 0 {
+		innerWorkers = (pool + len(apps) - 1) / len(apps)
+	}
+	labeled := MapJobs(pool, apps, func(_ int, app workload.Application) []oracle.Label {
+		return s.Orc.LabelAppWith(app, innerWorkers)
+	})
+	for i, app := range apps {
+		s.labels[app.Name] = labeled[i]
 	}
 	for _, app := range s.MiBench {
 		il.AppendDataset(&s.dataset, s.P, app, s.labels[app.Name])

@@ -34,19 +34,19 @@ var table2Apps = []struct{ name, label string }{
 // Cortex-like apps and a large one on the memory-bound and multi-threaded
 // outliers (the paper reports up to 1.86x).
 func (s *Study) Table2() []Table2Row {
-	dec := &il.OfflineDecider{P: s.P, Policy: s.treePolicy}
-	var rows []Table2Row
-	for _, spec := range table2Apps {
+	// The frozen policy is read-only at decision time, so the per-app
+	// replays are independent pool jobs; rows come back in table order.
+	return MapJobs(s.workers(), table2Apps, func(_ int, spec struct{ name, label string }) Table2Row {
+		dec := &il.OfflineDecider{P: s.P, Policy: s.treePolicy}
 		app := s.appByName(spec.name)
 		seq := workload.NewSequence(app)
 		run := control.Run(s.P, seq, dec, s.defaultStart())
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			App:        spec.label,
 			Suite:      app.Suite,
 			NormEnergy: run.Energy / s.OracleEnergy(app.Name),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 func (s *Study) appByName(name string) workload.Application {

@@ -110,9 +110,27 @@ type Label struct {
 // LabelApp computes the per-snippet optimal configuration for a whole
 // application, parallelized over snippets (each sweep is independent).
 func (o *Oracle) LabelApp(app workload.Application) []Label {
+	return o.LabelAppWith(app, runtime.GOMAXPROCS(0))
+}
+
+// LabelAppWith is LabelApp with an explicit worker count: callers that
+// already parallelize across applications (the experiment engine) pass 1
+// to keep the pool bounded, and 1 also serves as the serial reference
+// path. Labels are stored by snippet index, so the output is identical
+// for any worker count. workers <= 0 means GOMAXPROCS.
+func (o *Oracle) LabelAppWith(app workload.Application, workers int) []Label {
 	labels := make([]Label, len(app.Snippets))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		for i, s := range app.Snippets {
+			cfg, res := o.Best(s)
+			labels[i] = Label{Cfg: cfg, Res: res}
+		}
+		return labels
+	}
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
 	ch := make(chan int, len(app.Snippets))
 	for i := range app.Snippets {
 		ch <- i
