@@ -57,6 +57,18 @@ func main() {
 	flag.StringVar(&csvDir, "csv", "", "directory for raw CSV output (empty = none)")
 	flag.Parse()
 
+	// Reject nonsense sizes up front: a negative snippet cap would silently
+	// mean "no cap" and a negative worker count would silently fall back to
+	// GOMAXPROCS, hiding typos like "-workers -1".
+	if *snippets < 0 {
+		fmt.Fprintf(os.Stderr, "socrepro: -snippets must be >= 0 (0 = full), got %d\n", *snippets)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "socrepro: -workers must be >= 0 (0 = all CPUs), got %d\n", *workers)
+		os.Exit(2)
+	}
+
 	opt := experiments.Options{Seed: *seed, MaxSnippets: *snippets, Workers: *workers}
 	var study *experiments.Study
 	getStudy := func() *experiments.Study {

@@ -1,0 +1,190 @@
+// Command socserved runs the governor as a long-lived service: it loads a
+// persisted IL policy, manages concurrent governor sessions over an
+// HTTP/JSON API, and reports operational metrics.
+//
+// Usage:
+//
+//	socserved -addr :8090 -policy-file policy.json
+//	socserved -policy-file policy.json -bootstrap        # train it if missing
+//	socserved -policy-file policy.json -replay 64 -replay-steps 1000
+//
+// Endpoints:
+//
+//	POST   /v1/sessions           {"policy":"online-il"}    -> {"id","start"}
+//	POST   /v1/sessions/{id}/step {"counters":{...},"config":{...},"threads":1}
+//	GET    /v1/sessions/{id}      session info
+//	DELETE /v1/sessions/{id}      close session
+//	POST   /admin/reload          hot-reload the policy file (also SIGHUP)
+//	GET    /metrics               Prometheus text metrics
+//
+// -replay N switches to load-replay mode: the daemon starts, drives itself
+// with N synthetic clients from the workload traces, prints aggregate stats
+// plus decision-latency quantiles, and exits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"socrm/internal/serve"
+	"socrm/internal/soc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	policyFile := flag.String("policy-file", "", "persisted policy file (mlp or tree); empty = governor policies only")
+	bootstrap := flag.Bool("bootstrap", false, "train and write a quick policy to -policy-file if it does not exist")
+	seed := flag.Int64("seed", 42, "seed for bootstrap training, model warm-start and session decorrelation")
+	maxSessions := flag.Int("max-sessions", 1024, "maximum concurrent sessions")
+	online := flag.Bool("online", true, "warm-start online models at boot so sessions may use policy online-il")
+	replay := flag.Int("replay", 0, "load-replay mode: drive this many synthetic clients and exit")
+	replaySteps := flag.Int("replay-steps", 200, "steps per replay client")
+	replayBatch := flag.Int("replay-batch", 1, "telemetry records per replay step request")
+	replayPolicy := flag.String("replay-policy", "offline-il", "session policy replay clients request")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "socserved: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *maxSessions <= 0 {
+		fail("-max-sessions must be positive, got %d", *maxSessions)
+	}
+	if *replay < 0 || *replaySteps <= 0 || *replayBatch <= 0 {
+		fail("replay flags must be positive (-replay %d -replay-steps %d -replay-batch %d)",
+			*replay, *replaySteps, *replayBatch)
+	}
+	if *replay > 0 && *replay > *maxSessions {
+		fail("-replay %d exceeds -max-sessions %d", *replay, *maxSessions)
+	}
+
+	p := soc.NewXU3()
+	var store *serve.PolicyStore
+	if *policyFile != "" {
+		if _, err := os.Stat(*policyFile); errors.Is(err, os.ErrNotExist) && *bootstrap {
+			log.Printf("bootstrapping policy into %s", *policyFile)
+			// Train fully in memory, then write via rename: an interrupted
+			// bootstrap must not leave a partial file that blocks every
+			// later -bootstrap run.
+			var buf bytes.Buffer
+			if err := serve.WriteBootstrapPolicy(&buf, p, *seed, 4, 24); err != nil {
+				fail("bootstrap: %v", err)
+			}
+			tmp := *policyFile + ".tmp"
+			if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+				fail("bootstrap: %v", err)
+			}
+			if err := os.Rename(tmp, *policyFile); err != nil {
+				fail("bootstrap: %v", err)
+			}
+		}
+		store = serve.NewPolicyStore(*policyFile, p)
+		if err := store.Load(); err != nil {
+			fail("%v", err)
+		}
+		log.Printf("loaded policy from %s", *policyFile)
+	}
+
+	opt := serve.Options{
+		Platform:    p,
+		Store:       store,
+		MaxSessions: *maxSessions,
+		SeedBase:    *seed,
+	}
+	if *online && store != nil {
+		t0 := time.Now()
+		opt.Models = serve.WarmModels(p, *seed, 40)
+		log.Printf("warm-started online models in %v", time.Since(t0).Round(time.Millisecond))
+	}
+	srv := serve.New(opt)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	log.Printf("serving on %s", ln.Addr())
+
+	// SIGHUP hot-reloads the policy file, the classic daemon contract.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				log.Printf("reload failed: %v", err)
+			} else {
+				log.Printf("policy reloaded (generation %d)", store.Generation())
+			}
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if *replay > 0 {
+		stats, err := serve.Replay(serve.ReplayOptions{
+			BaseURL: "http://" + dialableAddr(ln.Addr()),
+			Clients: *replay,
+			Steps:   *replaySteps,
+			Batch:   *replayBatch,
+			Policy:  *replayPolicy,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fail("replay: %v", err)
+		}
+		h := srv.DecideLatency()
+		fmt.Printf("replay: %d clients x %d steps, %.1f J, %.1f s simulated\n",
+			stats.Clients, stats.Steps/stats.Clients, stats.EnergyJ, stats.TimeS)
+		fmt.Printf("decide latency: p50 %.3gs p90 %.3gs p99 %.3gs (n=%d)\n",
+			h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Count())
+		// Replay left no requests in flight, so close hard: a graceful
+		// drain only waits out idle keep-alive connections.
+		httpSrv.Close()
+		return
+	}
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdown(httpSrv)
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	}
+}
+
+// dialableAddr rewrites a wildcard listen address (":8090" binds the
+// unspecified host) into one the loopback replay clients can dial.
+func dialableAddr(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// shutdown drains in-flight requests with a bounded grace period.
+func shutdown(s *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"socrm/internal/control"
 	"socrm/internal/experiments"
@@ -30,6 +31,18 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	snippets := flag.Int("snippets", 60, "per-app snippet cap (0 = full)")
 	flag.Parse()
+
+	// Validate flags before any expensive work: an unknown policy must not
+	// render a partial table first, and a negative snippet cap must not
+	// silently mean "no cap".
+	if *snippets < 0 {
+		fmt.Fprintf(os.Stderr, "socsim: -snippets must be >= 0 (0 = full), got %d\n", *snippets)
+		os.Exit(2)
+	}
+	if !knownPolicy(*policy) {
+		fmt.Fprintf(os.Stderr, "socsim: unknown policy %q (want one of %v)\n", *policy, policyNames())
+		os.Exit(2)
+	}
 
 	study, err := experiments.NewStudy(experiments.Options{Seed: *seed, MaxSnippets: *snippets})
 	if err != nil {
@@ -57,7 +70,7 @@ func main() {
 	t := &metrics.Table{Header: []string{"App", "Policy", "Energy(J)", "Time(s)", "vs Oracle"}}
 	for _, app := range apps {
 		dec, err := makeDecider(study, *policy)
-		if err != nil {
+		if err != nil { // unreachable after the up-front validation
 			fmt.Fprintln(os.Stderr, "socsim:", err)
 			os.Exit(2)
 		}
@@ -74,29 +87,48 @@ func main() {
 	t.Render(os.Stdout)
 }
 
+// policyMakers is the single source of truth for what -policy accepts:
+// validation, the usage error and dispatch all derive from it. A nil
+// decider means "report the Oracle".
+var policyMakers = map[string]func(*experiments.Study) control.Decider{
+	"oracle": func(*experiments.Study) control.Decider { return nil },
+	"offline-il": func(s *experiments.Study) control.Decider {
+		return &il.OfflineDecider{P: s.P, Policy: s.OfflinePolicy().Clone()}
+	},
+	"offline-tree": func(s *experiments.Study) control.Decider {
+		return &il.OfflineDecider{P: s.P, Policy: s.OfflineTreePolicy()}
+	},
+	"online-il":   func(s *experiments.Study) control.Decider { return s.FreshOnlineIL() },
+	"rl":          func(s *experiments.Study) control.Decider { return s.FreshQTable(6) },
+	"dqn":         func(s *experiments.Study) control.Decider { return s.FreshDQN(2) },
+	"ondemand":    func(s *experiments.Study) control.Decider { return governor.NewOndemand(s.P) },
+	"interactive": func(s *experiments.Study) control.Decider { return governor.NewInteractive(s.P) },
+	"performance": func(s *experiments.Study) control.Decider { return governor.Performance{P: s.P} },
+	"powersave":   func(s *experiments.Study) control.Decider { return governor.Powersave{P: s.P} },
+}
+
+// knownPolicy reports whether makeDecider will accept the name.
+func knownPolicy(name string) bool {
+	_, isKnown := policyMakers[name]
+	return isKnown
+}
+
+// policyNames returns the accepted policy names, sorted, for the usage
+// error.
+func policyNames() []string {
+	names := make([]string, 0, len(policyMakers))
+	for n := range policyMakers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // makeDecider builds a fresh decider per run; nil means "report the Oracle".
 func makeDecider(s *experiments.Study, name string) (control.Decider, error) {
-	switch name {
-	case "oracle":
-		return nil, nil
-	case "offline-il":
-		return &il.OfflineDecider{P: s.P, Policy: s.OfflinePolicy().Clone()}, nil
-	case "offline-tree":
-		return &il.OfflineDecider{P: s.P, Policy: s.OfflineTreePolicy()}, nil
-	case "online-il":
-		return s.FreshOnlineIL(), nil
-	case "rl":
-		return s.FreshQTable(6), nil
-	case "dqn":
-		return s.FreshDQN(2), nil
-	case "ondemand":
-		return governor.NewOndemand(s.P), nil
-	case "interactive":
-		return governor.NewInteractive(s.P), nil
-	case "performance":
-		return governor.Performance{P: s.P}, nil
-	case "powersave":
-		return governor.Powersave{P: s.P}, nil
+	mk, isKnown := policyMakers[name]
+	if !isKnown {
+		return nil, fmt.Errorf("unknown policy %q", name)
 	}
-	return nil, fmt.Errorf("unknown policy %q", name)
+	return mk(s), nil
 }

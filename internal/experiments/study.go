@@ -159,9 +159,17 @@ func (s *Study) FreshModels() *il.OnlineModels {
 }
 
 // FreshOnlineIL returns an online-IL controller bootstrapped from the
-// offline policy and warm models.
+// offline policy and warm models, using the historical default training
+// seed (il.DefaultSeed) so experiment outputs stay bit-identical.
 func (s *Study) FreshOnlineIL() *il.OnlineIL {
-	return il.NewOnlineIL(s.P, s.policy.Clone(), s.FreshModels())
+	return s.FreshOnlineILSeeded(il.DefaultSeed)
+}
+
+// FreshOnlineILSeeded is FreshOnlineIL with an explicit training seed.
+// Hosts running several learners in one process (serving daemons, parallel
+// ablations) must decorrelate them by seeding each one differently.
+func (s *Study) FreshOnlineILSeeded(seed int64) *il.OnlineIL {
+	return il.NewOnlineILSeeded(s.P, s.policy.Clone(), s.FreshModels(), seed)
 }
 
 // FreshDQN returns the deep-Q baseline pretrained on the Mi-Bench suite

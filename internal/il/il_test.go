@@ -217,6 +217,58 @@ func TestOnlineILAdaptsToUnseenApp(t *testing.T) {
 	}
 }
 
+// TestOnlineILSeedDecorrelates pins the seed-threading contract: the
+// default constructor keeps the historical seed (experiment outputs stay
+// bit-identical), equal seeds give bit-identical training trajectories, and
+// distinct seeds — one per served session — give distinct policies.
+func TestOnlineILSeedDecorrelates(t *testing.T) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	ds := BuildDataset(p, orc, shortApps(12))
+	pol, err := TrainMLPPolicy(p, ds, DefaultMLPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := NewOnlineModels(p)
+	models.WarmStart(append(shortApps(12), workload.Calibration()), WarmStartConfigs(p))
+
+	if got := NewOnlineIL(p, pol.Clone(), models.Clone()).Seed; got != DefaultSeed {
+		t.Fatalf("NewOnlineIL seed = %d, want DefaultSeed (%d)", got, DefaultSeed)
+	}
+
+	app := workload.Cortex(1)[0]
+	app.Snippets = app.Snippets[:30]
+	seq := workload.NewSequence(app)
+	start := soc.Config{LittleFreqIdx: 6, BigFreqIdx: 9, NLittle: 4, NBig: 2}
+	deploy := func(seed int64) *OnlineIL {
+		oil := NewOnlineILSeeded(p, pol.Clone(), models.Clone(), seed)
+		control.Run(p, seq, oil, start)
+		return oil
+	}
+	a, b, c := deploy(DefaultSeed), deploy(DefaultSeed), deploy(DefaultSeed+1)
+	if a.Updates() == 0 {
+		t.Fatal("deployment never retrained the policy; the seed is untested")
+	}
+	raw := func(o *OnlineIL, x []float64) []float64 {
+		return o.Policy.Net.Predict(o.Policy.Scaler.Transform(x))
+	}
+	diverged := false
+	for i := range ds.X {
+		ya, yb, yc := raw(a, ds.X[i]), raw(b, ds.X[i]), raw(c, ds.X[i])
+		for k := range ya {
+			if ya[k] != yb[k] {
+				t.Fatalf("equal seeds diverged on sample %d knob %d: %v vs %v", i, k, ya[k], yb[k])
+			}
+			if ya[k] != yc[k] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("distinct seeds produced bit-identical policies; seed is not threaded into training")
+	}
+}
+
 func TestOnlineILBufferBytes(t *testing.T) {
 	p := soc.NewXU3()
 	oil := NewOnlineIL(p, &MLPPolicy{P: p}, NewOnlineModels(p))

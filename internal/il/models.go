@@ -60,6 +60,21 @@ func NewOnlineModels(p *soc.Platform) *OnlineModels {
 	}
 }
 
+// Clone returns an independently adaptable deep copy of the models. A
+// serving process warm-starts one template at boot (the expensive
+// design-time sweep) and clones it per governor session so concurrent
+// sessions adapt to their own workloads without sharing estimator state.
+func (m *OnlineModels) Clone() *OnlineModels {
+	return &OnlineModels{
+		P:                  m.P,
+		CPIBig:             m.CPIBig.Clone(),
+		CPILittle:          m.CPILittle.Clone(),
+		Power:              m.Power.Clone(),
+		AdaptInterceptOnly: m.AdaptInterceptOnly,
+		InterceptGain:      m.InterceptGain,
+	}
+}
+
 // rates are the workload quantities directly observable from Table I
 // counters.
 type rates struct {

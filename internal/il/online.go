@@ -30,16 +30,32 @@ type OnlineIL struct {
 	// Warmup is the number of initial decisions executed from the policy
 	// alone while the online models settle on the new workload.
 	Warmup int
+	// Seed drives the stochastic shuffling of incremental policy updates.
+	// Two learners sharing a process must be given distinct seeds or their
+	// training trajectories are perfectly correlated; DefaultSeed preserves
+	// the historical single-learner behaviour.
+	Seed int64
 
 	bufX, bufY [][]float64
 	decisions  int
 	updates    int
-	seed       int64
 }
 
+// DefaultSeed is the historical training seed of a fresh OnlineIL. All
+// pre-existing experiment outputs were produced with it.
+const DefaultSeed = 101
+
 // NewOnlineIL wraps an offline-trained policy and warm-started models with
-// the paper's default online-IL hyperparameters.
+// the paper's default online-IL hyperparameters and the historical default
+// seed.
 func NewOnlineIL(p *soc.Platform, policy *MLPPolicy, models *OnlineModels) *OnlineIL {
+	return NewOnlineILSeeded(p, policy, models, DefaultSeed)
+}
+
+// NewOnlineILSeeded is NewOnlineIL with an explicit training seed, for
+// processes hosting many concurrent learners (e.g. one per served session)
+// that must not be correlated.
+func NewOnlineILSeeded(p *soc.Platform, policy *MLPPolicy, models *OnlineModels, seed int64) *OnlineIL {
 	return &OnlineIL{
 		P:         p,
 		Policy:    policy,
@@ -50,7 +66,7 @@ func NewOnlineIL(p *soc.Platform, policy *MLPPolicy, models *OnlineModels) *Onli
 		LR:        0.02,
 		Momentum:  0.9,
 		Warmup:    2,
-		seed:      101,
+		Seed:      seed,
 	}
 }
 
@@ -125,7 +141,7 @@ func (o *OnlineIL) interior(cur, best soc.Config) bool {
 func (o *OnlineIL) trainPolicy() {
 	xs := o.Policy.Scaler.TransformAll(o.bufX)
 	o.updates++
-	o.Policy.Net.TrainEpochs(xs, o.bufY, o.Epochs, o.LR, o.Momentum, o.seed+int64(o.updates))
+	o.Policy.Net.TrainEpochs(xs, o.bufY, o.Epochs, o.LR, o.Momentum, o.Seed+int64(o.updates))
 }
 
 // Updates returns how many incremental policy updates have happened.

@@ -1,6 +1,7 @@
 package il
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,8 +25,20 @@ type policyFile struct {
 
 const policyVersion = 1
 
+// errNilScaler rejects policies whose feature scaler is absent. A loaded
+// policy with a nil scaler would panic on its first Decide (the scaler is
+// dereferenced on every prediction), so the bad file must be refused at the
+// load/save boundary with a diagnosable error instead.
+func errNilScaler(op string) error {
+	return fmt.Errorf("il: %s: policy has no feature scaler (\"scaler\": null); "+
+		"the file is truncated or was produced by a broken writer", op)
+}
+
 // SaveMLPPolicy serializes a neural policy.
 func SaveMLPPolicy(w io.Writer, p *MLPPolicy) error {
+	if p.Scaler == nil {
+		return errNilScaler("saving MLP policy")
+	}
 	snap := p.Net.Snapshot()
 	return json.NewEncoder(w).Encode(policyFile{
 		Version: policyVersion,
@@ -47,6 +60,9 @@ func LoadMLPPolicy(r io.Reader, platform *soc.Platform) (*MLPPolicy, error) {
 	if f.Kind != "mlp" || f.Net == nil {
 		return nil, fmt.Errorf("il: not an MLP policy (kind %q)", f.Kind)
 	}
+	if f.Scaler == nil {
+		return nil, errNilScaler("loading MLP policy")
+	}
 	net, err := mlp.FromSnapshot(*f.Net)
 	if err != nil {
 		return nil, err
@@ -56,6 +72,9 @@ func LoadMLPPolicy(r io.Reader, platform *soc.Platform) (*MLPPolicy, error) {
 
 // SaveTreePolicy serializes a regression-tree policy.
 func SaveTreePolicy(w io.Writer, p *TreePolicy) error {
+	if p.Scaler == nil {
+		return errNilScaler("saving tree policy")
+	}
 	snap := p.Forest.Snapshot()
 	return json.NewEncoder(w).Encode(policyFile{
 		Version: policyVersion,
@@ -63,6 +82,30 @@ func SaveTreePolicy(w io.Writer, p *TreePolicy) error {
 		Scaler:  p.Scaler,
 		Forest:  &snap,
 	})
+}
+
+// LoadPolicy reads a policy file of either kind, dispatching on the "kind"
+// field, and binds it to a platform. The returned Policy is a *MLPPolicy or
+// a *TreePolicy; callers that need the concrete type (e.g. to seed an
+// online learner from the neural policy) type-assert on the result.
+func LoadPolicy(r io.Reader, platform *soc.Platform) (Policy, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("il: reading policy: %w", err)
+	}
+	var head struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("il: decoding policy: %w", err)
+	}
+	switch head.Kind {
+	case "mlp":
+		return LoadMLPPolicy(bytes.NewReader(data), platform)
+	case "tree":
+		return LoadTreePolicy(bytes.NewReader(data), platform)
+	}
+	return nil, fmt.Errorf("il: unknown policy kind %q", head.Kind)
 }
 
 // LoadTreePolicy reads a regression-tree policy and binds it to a platform.
@@ -76,6 +119,9 @@ func LoadTreePolicy(r io.Reader, platform *soc.Platform) (*TreePolicy, error) {
 	}
 	if f.Kind != "tree" || f.Forest == nil {
 		return nil, fmt.Errorf("il: not a tree policy (kind %q)", f.Kind)
+	}
+	if f.Scaler == nil {
+		return nil, errNilScaler("loading tree policy")
 	}
 	forest, err := regtree.ForestFromSnapshot(*f.Forest)
 	if err != nil {

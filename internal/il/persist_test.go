@@ -2,7 +2,9 @@ package il
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"socrm/internal/oracle"
@@ -71,6 +73,141 @@ func TestLoadRejectsWrongKind(t *testing.T) {
 	if _, err := LoadTreePolicy(&buf, p); err == nil {
 		t.Fatal("loading an MLP file as a tree policy must fail")
 	}
+}
+
+// nullScaler serializes the policy and nulls out its "scaler" field,
+// producing the exact on-disk corruption the loaders must refuse.
+func nullScaler(t *testing.T, save func(w *bytes.Buffer) error) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	m["scaler"] = json.RawMessage("null")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewBuffer(out)
+}
+
+func TestLoadRejectsNilScaler(t *testing.T) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	ds := BuildDataset(p, orc, shortApps(8))
+	mlpPol, err := TrainMLPPolicy(p, ds, DefaultMLPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	treePol, err := TrainTreePolicy(p, ds, regtree.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := nullScaler(t, func(w *bytes.Buffer) error { return SaveMLPPolicy(w, mlpPol) })
+	if _, err := LoadMLPPolicy(buf, p); err == nil || !strings.Contains(err.Error(), "scaler") {
+		t.Fatalf("LoadMLPPolicy with null scaler: err = %v, want scaler rejection", err)
+	}
+	buf = nullScaler(t, func(w *bytes.Buffer) error { return SaveTreePolicy(w, treePol) })
+	if _, err := LoadTreePolicy(buf, p); err == nil || !strings.Contains(err.Error(), "scaler") {
+		t.Fatalf("LoadTreePolicy with null scaler: err = %v, want scaler rejection", err)
+	}
+
+	// The save side refuses to produce such a file in the first place.
+	var sink bytes.Buffer
+	if err := SaveMLPPolicy(&sink, &MLPPolicy{Net: mlpPol.Net, P: p}); err == nil {
+		t.Fatal("SaveMLPPolicy with nil scaler must fail")
+	}
+	if err := SaveTreePolicy(&sink, &TreePolicy{Forest: treePol.Forest, P: p}); err == nil {
+		t.Fatal("SaveTreePolicy with nil scaler must fail")
+	}
+}
+
+func TestLoadPolicyDispatchesOnKind(t *testing.T) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	ds := BuildDataset(p, orc, shortApps(8))
+	mlpPol, err := TrainMLPPolicy(p, ds, DefaultMLPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	treePol, err := TrainTreePolicy(p, ds, regtree.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveMLPPolicy(&buf, mlpPol); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := LoadPolicy(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isMLP := pol.(*MLPPolicy); !isMLP {
+		t.Fatalf("LoadPolicy returned %T, want *MLPPolicy", pol)
+	}
+	buf.Reset()
+	if err := SaveTreePolicy(&buf, treePol); err != nil {
+		t.Fatal(err)
+	}
+	pol, err = LoadPolicy(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isTree := pol.(*TreePolicy); !isTree {
+		t.Fatalf("LoadPolicy returned %T, want *TreePolicy", pol)
+	}
+	if _, err := LoadPolicy(strings.NewReader(`{"version":1,"kind":"svm"}`), p); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+}
+
+// TestConcurrentSaveLoad is the -race proof behind hot reload: many
+// goroutines serialize the same shared policy while others deserialize and
+// predict, exactly the contention a reloading daemon produces.
+func TestConcurrentSaveLoad(t *testing.T) {
+	p := soc.NewXU3()
+	orc := oracle.New(p, oracle.Energy)
+	ds := BuildDataset(p, orc, shortApps(8))
+	pol, err := TrainMLPPolicy(p, ds, DefaultMLPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref bytes.Buffer
+	if err := SaveMLPPolicy(&ref, pol); err != nil {
+		t.Fatal(err)
+	}
+	refBytes := ref.Bytes()
+	want := pol.PredictConfig(ds.X[0])
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var buf bytes.Buffer
+				if err := SaveMLPPolicy(&buf, pol); err != nil {
+					t.Error(err)
+					return
+				}
+				loaded, err := LoadMLPPolicy(bytes.NewReader(refBytes), p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := loaded.PredictConfig(ds.X[0]); got != want {
+					t.Errorf("loaded policy predicts %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {

@@ -1,0 +1,226 @@
+package metrics
+
+// Registry is the operational-metrics surface of the serving layer: a
+// minimal, dependency-free, concurrency-safe collection of counters, gauges
+// and latency histograms rendered in the Prometheus text exposition format.
+// The reporting half of this package (tables, plots) presents experiment
+// outputs; this half instruments the long-running daemon.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with CAS loops so hot counters never
+// take a lock on the step path.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (a counter that
+// can decrease is a gauge, and silent decreases corrupt rate() queries).
+func (c *Counter) Add(v float64) {
+	if v > 0 {
+		c.v.Add(v)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add shifts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// histBuckets are exponential latency bucket upper bounds: 1 µs doubling up
+// to ~67 s, plus an implicit +Inf overflow bucket. Decision latencies of
+// every policy in the repo land well inside this range.
+const (
+	histFirstBound = 1e-6
+	histNumBounds  = 27
+)
+
+// Histogram accumulates observations into fixed exponential buckets and
+// reports approximate quantiles (upper-bound linear interpolation within
+// the winning bucket). Observations are lock-free.
+type Histogram struct {
+	counts [histNumBounds + 1]atomic.Uint64
+	sum    atomicFloat
+	n      atomic.Uint64
+}
+
+// histBounds is precomputed: Observe sits on the daemon's step path.
+var histBounds = func() [histNumBounds]float64 {
+	var b [histNumBounds]float64
+	v := histFirstBound
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+func histBound(i int) float64 { return histBounds[i] }
+
+// Observe records one sample (in seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < histNumBounds && v > histBound(i) {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Quantile returns the approximate q-quantile (0 < q < 1) of the recorded
+// distribution, or 0 with no observations. Concurrent observers make the
+// answer approximate, which is fine for operational monitoring.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i <= histNumBounds; i++ {
+		c := h.counts[i].Load()
+		if cum+c >= rank {
+			hi := histBound(i)
+			lo := 0.0
+			if i > 0 {
+				lo = histBound(i - 1)
+			}
+			if i == histNumBounds { // overflow bucket: no upper bound
+				return lo
+			}
+			if c == 0 {
+				return hi
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return histBound(histNumBounds - 1)
+}
+
+// Registry names and renders a set of metrics.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]registered
+}
+
+type registered struct {
+	help string
+	kind string // "counter", "gauge", "summary"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: map[string]registered{}}
+}
+
+func (r *Registry) register(name, help, kind string, item registered) registered {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, okReg := r.items[name]; okReg {
+		if got.kind != kind {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s, was %s", name, kind, got.kind))
+		}
+		return got
+	}
+	item.help, item.kind = help, kind
+	r.items[name] = item
+	return item
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", registered{c: &Counter{}}).c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", registered{g: &Gauge{}}).g
+}
+
+// Histogram returns the named latency histogram, registering it on first
+// use. It renders as a Prometheus summary with p50/p90/p99 quantiles.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, "summary", registered{h: &Histogram{}}).h
+}
+
+// WriteProm renders every metric in the Prometheus text exposition format,
+// sorted by name.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.items))
+	items := make(map[string]registered, len(r.items))
+	for k, v := range r.items {
+		names = append(names, k)
+		items[k] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		it := items[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, it.help, name, it.kind)
+		switch it.kind {
+		case "counter":
+			fmt.Fprintf(w, "%s %g\n", name, it.c.Value())
+		case "gauge":
+			fmt.Fprintf(w, "%s %g\n", name, it.g.Value())
+		case "summary":
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), it.h.Quantile(q))
+			}
+			fmt.Fprintf(w, "%s_sum %g\n", name, it.h.Sum())
+			fmt.Fprintf(w, "%s_count %d\n", name, it.h.Count())
+		}
+	}
+}

@@ -40,6 +40,15 @@ func New(dim int, lambda, delta float64) *RLS {
 // Dim returns the feature dimension.
 func (r *RLS) Dim() int { return len(r.W) }
 
+// Clone returns an independent deep copy: further updates to either
+// estimator never affect the other. Long-running processes identify one
+// template model and clone it per concurrent consumer.
+func (r *RLS) Clone() *RLS {
+	w := make([]float64, len(r.W))
+	copy(w, r.W)
+	return &RLS{W: w, P: r.P.Clone(), Lambda: r.Lambda, n: r.n}
+}
+
 // Samples returns the number of updates performed.
 func (r *RLS) Samples() int { return r.n }
 

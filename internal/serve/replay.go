@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"socrm/internal/experiments"
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// ReplayOptions configure the built-in load generator: N synthetic clients,
+// each simulating one device with its own workload trace, driving the
+// daemon through the public HTTP API exactly as a real client would.
+type ReplayOptions struct {
+	BaseURL string // e.g. http://127.0.0.1:8090
+	Clients int
+	Steps   int // telemetry steps per client
+	// Batch > 1 posts that many snippets per step request (open-loop within
+	// the batch, as a real batching client would).
+	Batch  int
+	Policy string // session policy, default offline-il
+	Seed   int64  // base workload seed; client i uses Seed+i
+	// Workers bounds the driving pool; 0 runs every client on its own
+	// worker so Clients sessions are genuinely concurrent.
+	Workers int
+	// HTTPClient overrides the transport (tests inject the httptest client).
+	HTTPClient *http.Client
+}
+
+// ClientStats is one synthetic client's outcome.
+type ClientStats struct {
+	Steps   int
+	EnergyJ float64
+	TimeS   float64
+}
+
+// ReplayStats aggregates a replay run.
+type ReplayStats struct {
+	Clients int
+	Steps   int
+	EnergyJ float64
+	TimeS   float64
+}
+
+// Replay drives the daemon with opt.Clients concurrent sessions on the
+// experiment engine's worker pool and returns aggregate accounting. Any
+// client error aborts with the lowest-indexed failure, deterministically.
+func Replay(opt ReplayOptions) (ReplayStats, error) {
+	if opt.Clients <= 0 || opt.Steps <= 0 {
+		return ReplayStats{}, fmt.Errorf("serve: replay needs positive clients and steps, got %d/%d", opt.Clients, opt.Steps)
+	}
+	if opt.Batch <= 0 {
+		opt.Batch = 1
+	}
+	if opt.Policy == "" {
+		opt.Policy = PolicyOfflineIL
+	}
+	hc := opt.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = opt.Clients
+	}
+	// One shared read-only platform: Execute never mutates it.
+	p := soc.NewXU3()
+	idx := make([]int, opt.Clients)
+	for i := range idx {
+		idx[i] = i
+	}
+	per, err := experiments.RunJobs(workers, idx, func(j experiments.Job[int]) (ClientStats, error) {
+		return replayClient(hc, p, opt, j.Input)
+	})
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	agg := ReplayStats{Clients: opt.Clients}
+	for _, c := range per {
+		agg.Steps += c.Steps
+		agg.EnergyJ += c.EnergyJ
+		agg.TimeS += c.TimeS
+	}
+	return agg, nil
+}
+
+// replayClient runs one synthetic device: create a session, close the loop
+// over its workload trace (execute snippet locally, post counters, adopt
+// the returned configuration), then delete the session.
+func replayClient(hc *http.Client, p *soc.Platform, opt ReplayOptions, client int) (ClientStats, error) {
+	seed := opt.Seed + int64(client)
+	seq := workload.NewSequence(workload.AllApps(seed)...)
+
+	var created CreateResponse
+	err := call(hc, http.MethodPost, opt.BaseURL+"/v1/sessions",
+		CreateRequest{Policy: opt.Policy, Seed: &seed}, &created)
+	if err != nil {
+		return ClientStats{}, fmt.Errorf("client %d: create: %w", client, err)
+	}
+	stepURL := fmt.Sprintf("%s/v1/sessions/%s/step", opt.BaseURL, created.ID)
+
+	stats := ClientStats{}
+	cfg := p.Clamp(created.Start)
+	for done := 0; done < opt.Steps; {
+		n := opt.Batch
+		if rest := opt.Steps - done; n > rest {
+			n = rest
+		}
+		var req StepRequest
+		batch := make([]StepTelemetry, 0, n)
+		for k := 0; k < n; k++ {
+			sn := seq.Snippets[(done+k)%seq.Len()]
+			res := p.Execute(sn, cfg)
+			batch = append(batch, StepTelemetry{
+				Counters: res.Counters,
+				Config:   cfg,
+				Threads:  sn.Threads,
+				TimeS:    res.Time,
+				EnergyJ:  res.Energy,
+			})
+			stats.EnergyJ += res.Energy
+			stats.TimeS += res.Time
+		}
+		if n == 1 {
+			req.StepTelemetry = batch[0]
+		} else {
+			req.Steps = batch
+		}
+		var resp StepResponse
+		if err := call(hc, http.MethodPost, stepURL, req, &resp); err != nil {
+			return ClientStats{}, fmt.Errorf("client %d: step %d: %w", client, done, err)
+		}
+		cfg = p.Clamp(resp.Config)
+		done += n
+		stats.Steps += n
+	}
+	delURL := fmt.Sprintf("%s/v1/sessions/%s", opt.BaseURL, created.ID)
+	if err := call(hc, http.MethodDelete, delURL, nil, nil); err != nil {
+		return ClientStats{}, fmt.Errorf("client %d: close: %w", client, err)
+	}
+	return stats, nil
+}
+
+// call performs one JSON request/response round trip, surfacing the
+// server's error body on non-2xx statuses.
+func call(hc *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

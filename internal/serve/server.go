@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socrm/internal/control"
+	"socrm/internal/governor"
+	"socrm/internal/il"
+	"socrm/internal/metrics"
+	"socrm/internal/soc"
+)
+
+// Options configure a Server.
+type Options struct {
+	Platform *soc.Platform
+	// Store supplies persisted IL policies; nil disables the offline-il,
+	// offline-tree and online-il session policies (heuristic governors
+	// still work).
+	Store *PolicyStore
+	// Models is the warm-started online-model template cloned into every
+	// online-il session; nil disables online-il sessions.
+	Models *il.OnlineModels
+	// MaxSessions bounds concurrent sessions (0 = default 1024). Creates
+	// beyond the bound are refused with 503 instead of letting an
+	// over-eager client grow the heap without limit.
+	MaxSessions int
+	// SeedBase decorrelates per-session learners: session n trains with
+	// seed SeedBase+n unless the create request carries an explicit seed.
+	SeedBase int64
+}
+
+// Server is the governor-as-a-service HTTP daemon state.
+type Server struct {
+	p           *soc.Platform
+	store       *PolicyStore
+	models      *il.OnlineModels
+	maxSessions int
+	seedBase    int64
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	nextID   atomic.Int64
+
+	reg             *metrics.Registry
+	mSessionsActive *metrics.Gauge
+	mSessionsTotal  *metrics.Counter
+	mSessionsClosed *metrics.Counter
+	mSteps          *metrics.Counter
+	mStepErrors     *metrics.Counter
+	mReloads        *metrics.Counter
+	mPolicyUpdates  *metrics.Gauge
+	mEnergy         *metrics.Counter
+	mLatency        *metrics.Histogram
+}
+
+// New returns a Server ready to serve.
+func New(opt Options) *Server {
+	if opt.Platform == nil {
+		opt.Platform = soc.NewXU3()
+	}
+	if opt.MaxSessions <= 0 {
+		opt.MaxSessions = 1024
+	}
+	reg := metrics.NewRegistry()
+	return &Server{
+		p:           opt.Platform,
+		store:       opt.Store,
+		models:      opt.Models,
+		maxSessions: opt.MaxSessions,
+		seedBase:    opt.SeedBase,
+		sessions:    map[string]*Session{},
+		reg:         reg,
+		mSessionsActive: reg.Gauge("socserved_sessions_active",
+			"Governor sessions currently open."),
+		mSessionsTotal: reg.Counter("socserved_sessions_created_total",
+			"Governor sessions created since start."),
+		mSessionsClosed: reg.Counter("socserved_sessions_closed_total",
+			"Governor sessions closed since start."),
+		mSteps: reg.Counter("socserved_steps_total",
+			"Telemetry steps decided since start."),
+		mStepErrors: reg.Counter("socserved_step_errors_total",
+			"Step requests rejected since start."),
+		mReloads: reg.Counter("socserved_policy_reloads_total",
+			"Successful policy hot reloads since start."),
+		mPolicyUpdates: reg.Gauge("socserved_policy_updates",
+			"Incremental online-IL policy updates across open sessions."),
+		mEnergy: reg.Counter("socserved_energy_joules_total",
+			"Client-reported energy accounted across all steps."),
+		mLatency: reg.Histogram("socserved_decide_latency_seconds",
+			"Per-decision latency of the policy step path."),
+	}
+}
+
+// Reload hot-swaps the persisted policy for new sessions. Both the
+// /admin/reload endpoint and the daemon's SIGHUP handler land here so the
+// reload counter stays truthful either way.
+func (s *Server) Reload() error {
+	if s.store == nil {
+		return fmt.Errorf("serve: no policy store configured")
+	}
+	if err := s.store.Load(); err != nil {
+		return err
+	}
+	s.mReloads.Inc()
+	return nil
+}
+
+// Policies a session may request.
+const (
+	PolicyOfflineIL   = "offline-il"
+	PolicyOfflineTree = "offline-tree"
+	PolicyOnlineIL    = "online-il"
+)
+
+// newDecider builds a fresh decider for one session. Loaded policies are
+// shared read-only across offline sessions (Predict allocates its own
+// buffers); the online learner clones both the network and the models so
+// its training never touches another session.
+func (s *Server) newDecider(policy string, seed int64) (control.Decider, error) {
+	switch policy {
+	case PolicyOfflineIL:
+		if s.store == nil {
+			return nil, fmt.Errorf("policy %q needs a policy file (-policy-file)", policy)
+		}
+		pol, err := s.store.MLP()
+		if err != nil {
+			return nil, err
+		}
+		return &il.OfflineDecider{P: s.p, Policy: pol}, nil
+	case PolicyOfflineTree:
+		if s.store == nil {
+			return nil, fmt.Errorf("policy %q needs a policy file (-policy-file)", policy)
+		}
+		pol, err := s.store.Tree()
+		if err != nil {
+			return nil, err
+		}
+		return &il.OfflineDecider{P: s.p, Policy: pol}, nil
+	case PolicyOnlineIL:
+		if s.store == nil || s.models == nil {
+			return nil, fmt.Errorf("policy %q needs a policy file and warm online models", policy)
+		}
+		pol, err := s.store.MLP()
+		if err != nil {
+			return nil, err
+		}
+		return il.NewOnlineILSeeded(s.p, pol.Clone(), s.models.Clone(), seed), nil
+	case "ondemand":
+		return governor.NewOndemand(s.p), nil
+	case "interactive":
+		return governor.NewInteractive(s.p), nil
+	case "performance":
+		return governor.Performance{P: s.p}, nil
+	case "powersave":
+		return governor.Powersave{P: s.p}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", policy)
+}
+
+// defaultStart is the neutral boot configuration handed to new sessions.
+func (s *Server) defaultStart() soc.Config {
+	return soc.Config{
+		LittleFreqIdx: len(s.p.LittleOPPs) / 2,
+		BigFreqIdx:    len(s.p.BigOPPs) / 2,
+		NLittle:       4,
+		NBig:          2,
+	}
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// CreateRequest is the body of POST /v1/sessions.
+type CreateRequest struct {
+	Policy string `json:"policy"`
+	// Seed overrides the server-assigned per-session training seed.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// CreateResponse returns the session handle and the configuration the
+// client should execute first.
+type CreateResponse struct {
+	ID     string     `json:"id"`
+	Policy string     `json:"policy"`
+	Start  soc.Config `json:"start"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = PolicyOfflineIL
+	}
+	// Refuse before building the decider: the session cap exists to bound
+	// the daemon's work, and an online-il decider clones a network plus
+	// the warm model template. The authoritative check is re-done under
+	// the lock at insert time; this one keeps rejected creates cheap.
+	s.mu.RLock()
+	full := len(s.sessions) >= s.maxSessions
+	s.mu.RUnlock()
+	if full {
+		writeError(w, http.StatusServiceUnavailable,
+			"session limit %d reached", s.maxSessions)
+		return
+	}
+	id := s.nextID.Add(1)
+	seed := s.seedBase + id
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	dec, err := s.newDecider(req.Policy, seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := &Session{ID: "s-" + strconv.FormatInt(id, 10), Policy: req.Policy, dec: dec}
+	sess.lastCfg = s.defaultStart()
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.maxSessions {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			"session limit %d reached", s.maxSessions)
+		return
+	}
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+	s.mSessionsTotal.Inc()
+	s.mSessionsActive.Add(1)
+	writeJSON(w, http.StatusCreated, CreateResponse{
+		ID: sess.ID, Policy: req.Policy, Start: sess.lastCfg,
+	})
+}
+
+func (s *Server) lookup(id string) *Session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[id]
+}
+
+// StepRequest is the body of POST /v1/sessions/{id}/step: either one
+// telemetry record inline, or a batch under "steps" (processed in order
+// within the session, one decision each).
+type StepRequest struct {
+	StepTelemetry
+	Steps []StepTelemetry `json:"steps,omitempty"`
+}
+
+// StepResponse carries the decided configuration(s).
+type StepResponse struct {
+	Config  soc.Config   `json:"config"`
+	Configs []soc.Config `json:"configs,omitempty"`
+	Step    uint64       `json:"step"`
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		s.mStepErrors.Inc()
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	var req StepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.mStepErrors.Inc()
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	batch := req.Steps
+	if len(batch) == 0 {
+		batch = []StepTelemetry{req.StepTelemetry}
+	}
+	resp := StepResponse{}
+	for _, t := range batch {
+		startT := time.Now()
+		cfg, err := sess.step(s.p, t)
+		if err != nil {
+			s.mStepErrors.Inc()
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		s.mLatency.Observe(time.Since(startT).Seconds())
+		s.mSteps.Inc()
+		s.mEnergy.Add(t.EnergyJ)
+		resp.Config = cfg
+		if len(req.Steps) > 0 {
+			resp.Configs = append(resp.Configs, cfg)
+		}
+	}
+	sess.mu.Lock()
+	resp.Step = sess.steps
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	sess.close()
+	s.mSessionsClosed.Inc()
+	s.mSessionsActive.Add(-1)
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Aggregate per-session learner progress at scrape time; sessions are
+	// few relative to steps, so this stays off the hot path.
+	s.mu.RLock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.RUnlock()
+	updates := 0
+	for _, sess := range sessions {
+		updates += sess.info().Updates
+	}
+	s.mPolicyUpdates.Set(float64(updates))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WriteProm(w)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Reload(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"generation": s.store.Generation(),
+	})
+}
+
+// SessionCount returns the number of open sessions.
+func (s *Server) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+// Metrics exposes the registry so embedders (tests, the replay driver) can
+// read what /metrics reports.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// DecideLatency exposes the decision-latency histogram for reporting.
+func (s *Server) DecideLatency() *metrics.Histogram { return s.mLatency }
