@@ -288,6 +288,20 @@ func BenchmarkOracleSnippetSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkNeighborhoodAppend measures the candidate-set enumeration alone
+// (radius 3 from an interior configuration, the online-IL default): the
+// direct range enumeration into a reused buffer that replaced the
+// clamp-and-dedup map of the seed.
+func BenchmarkNeighborhoodAppend(b *testing.B) {
+	p := soc.NewXU3()
+	c := soc.Config{LittleFreqIdx: 6, BigFreqIdx: 9, NLittle: 2, NBig: 2}
+	var buf []soc.Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.AppendNeighborhood(buf[:0], c, 3)
+	}
+}
+
 func BenchmarkOnlineILDecision(b *testing.B) {
 	s := study(b)
 	oil := s.FreshOnlineIL()

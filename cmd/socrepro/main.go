@@ -4,12 +4,15 @@
 // Usage:
 //
 //	socrepro -exp all|fig2|tab2|fig3|fig4|fig5 [-seed N] [-snippets N] [-workers N] [-csv dir]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // -snippets caps the per-application snippet count (0 = paper-scale runs);
 // -workers bounds the experiment engine's worker pool (default NumCPU,
 // 1 = fully serial reference — outputs are bit-identical either way); -csv
 // additionally writes each experiment's raw series to <dir>/<exp>.csv
-// for external plotting.
+// for external plotting. -cpuprofile/-memprofile write pprof profiles of
+// the run (see the Performance section of the README); profile the decision
+// hot path with e.g. `-exp fig4 -workers 1 -cpuprofile cpu.out`.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"socrm/internal/experiments"
@@ -49,11 +53,48 @@ func writeCSV(name string, header []string, rows [][]string) {
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 
+// startProfiles begins CPU profiling (when requested) and returns the
+// function that finalizes both profiles; memory is snapshotted at stop so
+// the heap profile reflects the run, not flag parsing. Error-exit paths
+// skip it — a partial run's profile would mislead more than help.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socrepro:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "socrepro:", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "socrepro:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "socrepro:", err)
+			}
+		}
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig2, tab2, fig3, fig4, fig5")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	snippets := flag.Int("snippets", 0, "per-app snippet cap (0 = full)")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment-engine worker pool size (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	flag.StringVar(&csvDir, "csv", "", "directory for raw CSV output (empty = none)")
 	flag.Parse()
 
@@ -90,19 +131,22 @@ func main() {
 		"fig4": func() { runFig4(getStudy()) },
 		"fig5": func() { runFig5(*seed, *workers) },
 	}
+	f, okExp := run[*exp]
+	if *exp != "all" && !okExp {
+		fmt.Fprintf(os.Stderr, "socrepro: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	if *exp == "all" {
 		for _, name := range []string{"fig2", "tab2", "fig3", "fig4", "fig5"} {
 			run[name]()
 			fmt.Println()
 		}
-		return
+	} else {
+		f()
 	}
-	f, okExp := run[*exp]
-	if !okExp {
-		fmt.Fprintf(os.Stderr, "socrepro: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	f()
+	stopProfiles()
 }
 
 func runFig2(seed int64) {

@@ -26,10 +26,16 @@ type State struct {
 // Features returns the policy input vector: the eight derived counter
 // features, the four normalized configuration knobs, and the thread count.
 func (s State) Features(p *soc.Platform) []float64 {
-	f := s.Derived.Vector()
-	f = append(f, p.Features(s.Config)...)
-	f = append(f, float64(s.Threads)/4)
-	return f
+	return s.AppendFeatures(make([]float64, 0, NumFeatures), p)
+}
+
+// AppendFeatures appends the policy input vector to dst and returns the
+// extended slice — the allocation-free form of Features for decision hot
+// paths that reuse a feature buffer across calls.
+func (s State) AppendFeatures(dst []float64, p *soc.Platform) []float64 {
+	dst = s.Derived.AppendVector(dst)
+	dst = p.AppendFeatures(dst, s.Config)
+	return append(dst, float64(s.Threads)/4)
 }
 
 // NumFeatures is the length of State.Features.

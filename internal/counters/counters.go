@@ -118,10 +118,16 @@ type DerivedFeatures struct {
 
 // Vector returns the derived features as a slice in declaration order.
 func (d DerivedFeatures) Vector() []float64 {
-	return []float64{
+	return d.AppendVector(make([]float64, 0, NumDerived))
+}
+
+// AppendVector appends the derived features to dst in declaration order and
+// returns the extended slice — the allocation-free form of Vector.
+func (d DerivedFeatures) AppendVector(dst []float64) []float64 {
+	return append(dst,
 		d.IPC, d.L2MPKI, d.BranchMPKI, d.MemPerInstr,
 		d.ExtPerInstr, d.LittleUtil, d.BigUtil, d.Power,
-	}
+	)
 }
 
 // NumDerived is the length of DerivedFeatures.Vector.

@@ -41,12 +41,19 @@ func FitScaler(samples [][]float64) *Scaler {
 
 // Transform returns the standardized copy of x.
 func (s *Scaler) Transform(x []float64) []float64 {
-	if len(s.Mean) == 0 {
-		out := make([]float64, len(x))
-		copy(out, x)
-		return out
+	return s.TransformInto(make([]float64, len(x)), x)
+}
+
+// TransformInto standardizes x into dst without allocating and returns dst.
+// len(dst) must equal len(x); dst may alias x.
+func (s *Scaler) TransformInto(dst, x []float64) []float64 {
+	if len(dst) != len(x) {
+		panic("counters: transform dst length mismatch")
 	}
-	out := make([]float64, len(x))
+	if len(s.Mean) == 0 {
+		copy(dst, x)
+		return dst
+	}
 	for i := range x {
 		v := (x[i] - s.Mean[i]) / s.Std[i]
 		if v > ClipSigma {
@@ -54,9 +61,9 @@ func (s *Scaler) Transform(x []float64) []float64 {
 		} else if v < -ClipSigma {
 			v = -ClipSigma
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // TransformAll standardizes every vector in xs.

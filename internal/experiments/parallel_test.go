@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -45,6 +48,37 @@ func TestStudyDeterminismAcrossWorkers(t *testing.T) {
 	}
 	if got, want := parallel.BufferSizeAblation([]int{4, 16}), serial.BufferSizeAblation([]int{4, 16}); !reflect.DeepEqual(got, want) {
 		t.Fatal("BufferSizeAblation differs between worker counts")
+	}
+}
+
+// TestGoldenFigureDigests extends the determinism guarantee across PRs, not
+// just worker counts: these digests were captured from the reduced study
+// BEFORE the PR-3 zero-allocation hot-path refactor, so any change to the
+// decision path that is not bit-identical (candidate order, memoized CPI,
+// scratch-buffer arithmetic) fails here. Floating point is deterministic on
+// amd64 (no operation fusing); other architectures may legally fuse
+// multiply-adds, so the comparison is gated to the architecture the goldens
+// were recorded on.
+func TestGoldenFigureDigests(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden digests recorded on amd64; GOARCH=%s may fuse floating-point ops", runtime.GOARCH)
+	}
+	s := buildStudy(t, 1)
+	digest := func(v interface{}) string {
+		return fmt.Sprintf("%x", sha256.Sum256([]byte(fmt.Sprintf("%v", v))))
+	}
+	want := map[string]struct {
+		got  string
+		want string
+	}{
+		"Table2": {digest(s.Table2()), "8bccffc0f9c1ac63664878a2120984783d36579d8ed1416385ac393ca389a1c7"},
+		"Fig3":   {digest(s.Fig3()), "36d2953c195da1db6a971616be6d7da22af08f2494605c854efac2e941332a2e"},
+		"Fig4":   {digest(s.Fig4()), "2bb87a3928be17955692374b46a8aead22dd9bc17756425c5ecd6d227b4bad92"},
+	}
+	for name, d := range want {
+		if d.got != d.want {
+			t.Errorf("%s digest drifted from the pre-refactor golden:\n got  %s\n want %s", name, d.got, d.want)
+		}
 	}
 }
 

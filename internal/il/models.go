@@ -100,15 +100,21 @@ func activeCores(st control.State) int {
 	return ub + ul
 }
 
-func cpiFeatures(missPerInstr, fGHz, brMPKI float64) []float64 {
-	return []float64{1, missPerInstr * fGHz, brMPKI}
+// cpiFeaturesInto fills buf (length cpiDim) with the CPI-model input and
+// returns it; the allocation-free feature builder of the candidate loop.
+func cpiFeaturesInto(buf []float64, missPerInstr, fGHz, brMPKI float64) []float64 {
+	buf[0] = 1
+	buf[1] = missPerInstr * fGHz
+	buf[2] = brMPKI
+	return buf
 }
 
 // predictCPI returns per-core CPI predictions for both clusters at the
-// candidate frequencies.
+// candidate frequencies. The feature vector lives on the stack.
 func (m *OnlineModels) predictCPI(r rates, flGHz, fbGHz float64) (cpiBig, cpiLittle float64) {
-	cpiBig = m.CPIBig.Predict(cpiFeatures(r.missPerInstr, fbGHz, r.brMPKI))
-	cpiLittle = m.CPILittle.Predict(cpiFeatures(r.missPerInstr, flGHz, r.brMPKI))
+	var buf [cpiDim]float64
+	cpiBig = m.CPIBig.Predict(cpiFeaturesInto(buf[:], r.missPerInstr, fbGHz, r.brMPKI))
+	cpiLittle = m.CPILittle.Predict(cpiFeaturesInto(buf[:], r.missPerInstr, flGHz, r.brMPKI))
 	// Guard against early-training pathologies: CPI below a physical floor
 	// would make a candidate look impossibly fast.
 	if cpiBig < 0.3 {
@@ -120,10 +126,11 @@ func (m *OnlineModels) predictCPI(r rates, flGHz, fbGHz float64) (cpiBig, cpiLit
 	return cpiBig, cpiLittle
 }
 
-// powerFeatures builds the linear power-model input for a candidate
-// configuration given observed workload rates. stallFrac terms let the
-// model express reduced switching activity while memory stalled.
-func (m *OnlineModels) powerFeatures(r rates, c soc.Config, cpiBig, cpiLittle, extBWGBs float64) []float64 {
+// powerFeaturesInto builds the linear power-model input for a candidate
+// configuration given observed workload rates into buf (length powerDim) and
+// returns it. stallFrac terms let the model express reduced switching
+// activity while memory stalled.
+func (m *OnlineModels) powerFeaturesInto(buf []float64, r rates, c soc.Config, cpiBig, cpiLittle, extBWGBs float64) []float64 {
 	lo := m.P.LittleOPPs[c.LittleFreqIdx]
 	bo := m.P.BigOPPs[c.BigFreqIdx]
 	fl, fb := lo.FreqMHz/1000, bo.FreqMHz/1000
@@ -132,18 +139,17 @@ func (m *OnlineModels) powerFeatures(r rates, c soc.Config, cpiBig, cpiLittle, e
 	stallL := r.missPerInstr * m.P.MemLatencyNS * fl / cpiLittle
 	vb2fb := bo.Volt * bo.Volt * fb
 	vl2fl := lo.Volt * lo.Volt * fl
-	return []float64{
-		vb2fb * float64(ub),
-		vb2fb * float64(ub) * stallB,
-		vb2fb * float64(c.NBig-ub),
-		vl2fl * float64(ul),
-		vl2fl * float64(ul) * stallL,
-		vl2fl * float64(c.NLittle-ul),
-		bo.Volt * bo.Volt * float64(c.NBig),
-		lo.Volt * lo.Volt * float64(c.NLittle),
-		1,
-		extBWGBs,
-	}
+	buf[0] = vb2fb * float64(ub)
+	buf[1] = vb2fb * float64(ub) * stallB
+	buf[2] = vb2fb * float64(c.NBig-ub)
+	buf[3] = vl2fl * float64(ul)
+	buf[4] = vl2fl * float64(ul) * stallL
+	buf[5] = vl2fl * float64(c.NLittle-ul)
+	buf[6] = bo.Volt * bo.Volt * float64(c.NBig)
+	buf[7] = lo.Volt * lo.Volt * float64(c.NLittle)
+	buf[8] = 1
+	buf[9] = extBWGBs
+	return buf
 }
 
 // Prediction is the models' estimate for executing the current workload
@@ -156,14 +162,23 @@ type Prediction struct {
 
 // Predict estimates time, power and energy of running the observed
 // workload phase under candidate configuration c, reusing the counters of
-// the current configuration as the paper prescribes.
+// the current configuration as the paper prescribes. Candidate loops that
+// evaluate many configurations against one observed state should use an
+// Evaluator instead, which derives the workload rates once and memoizes the
+// CPI predictions per frequency pair.
 func (m *OnlineModels) Predict(st control.State, c soc.Config) Prediction {
 	r := ratesOf(st)
 	c = m.P.Clamp(c)
-	lo := m.P.LittleOPPs[c.LittleFreqIdx]
-	bo := m.P.BigOPPs[c.BigFreqIdx]
-	fl, fb := lo.FreqMHz/1000, bo.FreqMHz/1000
+	fl := m.P.LittleOPPs[c.LittleFreqIdx].FreqMHz / 1000
+	fb := m.P.BigOPPs[c.BigFreqIdx].FreqMHz / 1000
 	cpiB, cpiL := m.predictCPI(r, fl, fb)
+	return m.predictionFrom(r, c, fl, fb, cpiB, cpiL)
+}
+
+// predictionFrom completes a prediction from already-derived rates and CPI
+// values — the shared tail of Predict and Evaluator.Predict. The power
+// feature vector lives on the stack.
+func (m *OnlineModels) predictionFrom(r rates, c soc.Config, fl, fb, cpiB, cpiL float64) Prediction {
 	ub, ul := soc.Placement(r.threads, c)
 	ips := float64(ub)*fb*1e9/cpiB + float64(ul)*fl*1e9/cpiL
 	if ips <= 0 {
@@ -171,7 +186,8 @@ func (m *OnlineModels) Predict(st control.State, c soc.Config) Prediction {
 	}
 	t := r.instr / ips
 	extBW := r.missPerInstr * r.instr * m.P.CacheLineB / t / 1e9
-	p := m.Power.Predict(m.powerFeatures(r, c, cpiB, cpiL, extBW))
+	var buf [powerDim]float64
+	p := m.Power.Predict(m.powerFeaturesInto(buf[:], r, c, cpiB, cpiL, extBW))
 	const minPower = 0.05 // a live chip never draws less than this
 	if p < minPower {
 		p = minPower
@@ -199,11 +215,12 @@ func (m *OnlineModels) updateCPIFrom(st control.State) {
 	fb := m.P.BigOPPs[c.BigFreqIdx].FreqMHz / 1000
 	ub, ul := soc.Placement(r.threads, c)
 	cpiObs := st.Counters.CPUCycles / r.instr
+	var buf [cpiDim]float64
 	switch {
 	case ub > 0 && ul == 0:
-		m.updateCPI(m.CPIBig, cpiFeatures(r.missPerInstr, fb, r.brMPKI), cpiObs)
+		m.updateCPI(m.CPIBig, cpiFeaturesInto(buf[:], r.missPerInstr, fb, r.brMPKI), cpiObs)
 	case ul > 0 && ub == 0:
-		m.updateCPI(m.CPILittle, cpiFeatures(r.missPerInstr, fl, r.brMPKI), cpiObs)
+		m.updateCPI(m.CPILittle, cpiFeaturesInto(buf[:], r.missPerInstr, fl, r.brMPKI), cpiObs)
 	}
 }
 
@@ -225,7 +242,8 @@ func (m *OnlineModels) updatePowerFrom(st control.State) {
 		return
 	}
 	extBW := r.missPerInstr * r.instr * m.P.CacheLineB / t / 1e9
-	m.Power.Update(m.powerFeatures(r, c, cpiB, cpiL, extBW), st.Counters.ChipPower)
+	var buf [powerDim]float64
+	m.Power.Update(m.powerFeaturesInto(buf[:], r, c, cpiB, cpiL, extBW), st.Counters.ChipPower)
 }
 
 // updateCPI applies either the full RLS update or the intercept-only

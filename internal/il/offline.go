@@ -45,8 +45,10 @@ func AppendDataset(ds *Dataset, p *soc.Platform, app workload.Application, label
 			Threads:  app.Snippets[k].Threads,
 			App:      app.Name,
 		}
-		ds.X = append(ds.X, st.Features(p))
-		ds.Y = append(ds.Y, p.Features(labels[k+1].Cfg))
+		// Exact-capacity appends: the rows are retained by the dataset, but
+		// nothing beyond them is allocated.
+		ds.X = append(ds.X, st.AppendFeatures(make([]float64, 0, control.NumFeatures), p))
+		ds.Y = append(ds.Y, p.AppendFeatures(make([]float64, 0, soc.NumConfigFeatures), labels[k+1].Cfg))
 	}
 }
 
@@ -58,10 +60,16 @@ type Policy interface {
 
 // MLPPolicy is the neural-network policy of Section IV-A3 ("the policy is
 // represented as a neural network and updated with back-propagation").
+//
+// PredictConfig reuses a per-policy input buffer (and the network's own
+// scratch), so an MLPPolicy must not be shared by concurrent callers; hand
+// each consumer its own Clone, as the serving layer does per session.
 type MLPPolicy struct {
 	Net    *mlp.Network
 	Scaler *counters.Scaler
 	P      *soc.Platform
+
+	xbuf []float64 // scratch for the scaled PredictConfig input
 }
 
 // Name implements Policy.
@@ -75,7 +83,11 @@ func (m *MLPPolicy) Clone() *MLPPolicy {
 
 // PredictConfig implements Policy.
 func (m *MLPPolicy) PredictConfig(features []float64) soc.Config {
-	out := m.Net.Predict(m.Scaler.Transform(features))
+	if cap(m.xbuf) < len(features) {
+		m.xbuf = make([]float64, len(features))
+	}
+	x := m.Scaler.TransformInto(m.xbuf[:len(features)], features)
+	out := m.Net.Predict(x) // network scratch, safe to clamp in place
 	for i, v := range out {
 		if v < 0 {
 			out[i] = 0

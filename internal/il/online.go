@@ -39,6 +39,15 @@ type OnlineIL struct {
 	bufX, bufY [][]float64
 	decisions  int
 	updates    int
+
+	// Decision-path scratch, reused across calls so a steady-state Decide
+	// allocates nothing: the state feature vector, the candidate list, and
+	// the per-decision model evaluator. An OnlineIL was never
+	// goroutine-safe (Decide trains the policy); this makes the contract
+	// load-bearing.
+	featBuf []float64
+	cands   []soc.Config
+	ev      *Evaluator
 }
 
 // DefaultSeed is the historical training seed of a fresh OnlineIL. All
@@ -76,26 +85,40 @@ func (o *OnlineIL) Name() string { return "online-il" }
 // PolicyConfig returns what the policy alone would choose — the quantity
 // whose agreement with the Oracle Figure 3 tracks over time.
 func (o *OnlineIL) PolicyConfig(st control.State) soc.Config {
-	return o.Policy.PredictConfig(st.Features(o.P))
+	o.featBuf = st.AppendFeatures(o.featBuf[:0], o.P)
+	return o.Policy.PredictConfig(o.featBuf)
 }
 
 // Decide implements control.Decider: model-guided candidate selection plus
-// DAgger-style data aggregation.
+// DAgger-style data aggregation. Steady-state decisions are allocation-free:
+// candidates, feature vectors and model scratch are all reused buffers, and
+// the evaluator memoizes the per-frequency-pair CPI predictions across the
+// candidate sweep.
 func (o *OnlineIL) Decide(st control.State) soc.Config {
 	o.decisions++
 	polCfg := o.PolicyConfig(st)
 
 	// Candidate set: the local neighborhood of the current configuration,
 	// plus the policy's own suggestion so the learner can be followed once
-	// it is right.
-	cands := o.P.Neighborhood(st.Config, o.Radius)
-	cands = append(cands, polCfg)
+	// it is right. When the suggestion already lies inside the
+	// neighborhood it is a duplicate and is not evaluated a second time.
+	o.cands = o.P.AppendNeighborhood(o.cands[:0], st.Config, o.Radius)
+	cands := o.cands
 
+	if o.ev == nil {
+		o.ev = o.Models.NewEvaluator()
+	}
+	o.ev.Begin(st)
 	best := cands[0]
-	bestE := o.Models.Predict(st, best).Energy
+	bestE := o.ev.Predict(best).Energy
 	for _, c := range cands[1:] {
-		if e := o.Models.Predict(st, c).Energy; e < bestE {
+		if e := o.ev.Predict(c).Energy; e < bestE {
 			best, bestE = c, e
+		}
+	}
+	if !o.P.InNeighborhood(st.Config, polCfg, o.Radius) {
+		if e := o.ev.Predict(polCfg).Energy; e < bestE {
+			best, bestE = polCfg, e
 		}
 	}
 
@@ -103,10 +126,13 @@ func (o *OnlineIL) Decide(st control.State) soc.Config {
 	// Transitional decisions — where the candidate argmin sits on the
 	// neighborhood boundary, meaning the true optimum is still outside the
 	// search radius — would teach the policy way-points rather than
-	// destinations, so they are not aggregated.
+	// destinations, so they are not aggregated. Buffer rows truncated by a
+	// previous retrain keep their storage and are refilled in place.
 	if o.interior(st.Config, best) {
-		o.bufX = append(o.bufX, st.Features(o.P))
-		o.bufY = append(o.bufY, o.P.Features(best))
+		o.bufX = growRow(o.bufX)
+		o.bufX[len(o.bufX)-1] = st.AppendFeatures(o.bufX[len(o.bufX)-1][:0], o.P)
+		o.bufY = growRow(o.bufY)
+		o.bufY[len(o.bufY)-1] = o.P.AppendFeatures(o.bufY[len(o.bufY)-1][:0], best)
 	}
 	if len(o.bufX) >= o.BufferCap {
 		o.trainPolicy()
@@ -118,6 +144,15 @@ func (o *OnlineIL) Decide(st control.State) soc.Config {
 		return polCfg
 	}
 	return best
+}
+
+// growRow extends buf by one row, reviving the storage of a row truncated
+// by a previous retrain cycle when the capacity allows.
+func growRow(buf [][]float64) [][]float64 {
+	if len(buf) < cap(buf) {
+		return buf[:len(buf)+1]
+	}
+	return append(buf, nil)
 }
 
 // interior reports whether best is strictly inside the search neighborhood
@@ -134,8 +169,8 @@ func (o *OnlineIL) interior(cur, best soc.Config) bool {
 	}
 	return in(cur.LittleFreqIdx, best.LittleFreqIdx, 0, len(o.P.LittleOPPs)-1) &&
 		in(cur.BigFreqIdx, best.BigFreqIdx, 0, len(o.P.BigOPPs)-1) &&
-		in(cur.NLittle, best.NLittle, 1, 4) &&
-		in(cur.NBig, best.NBig, 0, 4)
+		in(cur.NLittle, best.NLittle, soc.MinNLittle, soc.MaxNLittle) &&
+		in(cur.NBig, best.NBig, soc.MinNBig, soc.MaxNBig)
 }
 
 func (o *OnlineIL) trainPolicy() {

@@ -130,14 +130,22 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns the matrix-vector product m*x.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.Rows), x)
+}
+
+// MulVecInto computes dst = m*x without allocating and returns dst.
+// len(dst) must equal m.Rows and dst must not alias x.
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 	if m.Cols != len(x) {
 		panic(fmt.Sprintf("mathx: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
 	}
-	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		y[i] = Dot(m.Row(i), x)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mathx: mulvec dst length %d, want %d", len(dst), m.Rows))
 	}
-	return y
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+	return dst
 }
 
 func checkSameShape(a, b *Matrix) {

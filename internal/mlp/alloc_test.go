@@ -1,0 +1,28 @@
+//go:build !race
+
+package mlp
+
+import "testing"
+
+// The decision hot path budgets zero steady-state allocations for network
+// inference and per-sample training (ISSUE 3). AllocsPerRun's warm-up call
+// absorbs the one-time lazy sizing of the scratch buffers. The race
+// detector instruments allocations, so the assertions are gated to
+// non-race builds.
+
+func TestPredictAllocFree(t *testing.T) {
+	n := New(1, Tanh, 13, 24, 16, 4)
+	x := make([]float64, 13)
+	if avg := testing.AllocsPerRun(200, func() { n.Predict(x) }); avg != 0 {
+		t.Fatalf("Predict allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestTrainStepAllocFree(t *testing.T) {
+	n := New(1, Tanh, 13, 24, 16, 4)
+	x := make([]float64, 13)
+	y := []float64{0.5, 0.5, 0.5, 0.5}
+	if avg := testing.AllocsPerRun(200, func() { n.TrainStep(x, y, 0.01, 0.9) }); avg != 0 {
+		t.Fatalf("TrainStep allocates %.1f objects per call, want 0", avg)
+	}
+}

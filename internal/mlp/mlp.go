@@ -22,12 +22,27 @@ const (
 )
 
 // Network is a fully connected feed-forward network with linear outputs.
+//
+// A Network is NOT goroutine-safe: training always mutated the weights, and
+// Predict/TrainStep/TrainEpochs now additionally share per-network scratch
+// buffers (activations, backprop deltas, the Predict output) so the forward
+// and backward passes are allocation-free. Give each concurrent consumer its
+// own Clone.
 type Network struct {
 	Sizes  []int // layer widths, input..output
 	Act    Activation
 	W      [][]float64 // W[l][j*in+i]: layer l weight from input i to unit j
 	B      [][]float64
 	mW, mB [][]float64 // momentum buffers
+
+	// Scratch reused across calls (lazily sized, never serialized):
+	// acts[0] aliases the current input during a pass, acts[1..] and
+	// deltas[1..] are per-layer buffers, predOut backs Predict's result,
+	// order backs TrainEpochs' shuffle.
+	acts    [][]float64
+	deltas  [][]float64
+	predOut []float64
+	order   []int
 }
 
 // New constructs a network with the given layer sizes (at least input and
@@ -88,17 +103,34 @@ func (n *Network) activateGrad(a float64) float64 {
 	}
 }
 
-// Forward runs the network and returns the output along with all layer
-// activations (needed for backprop).
+// ensureScratch lazily sizes the shared forward/backward buffers.
+func (n *Network) ensureScratch() {
+	if n.acts != nil {
+		return
+	}
+	L := len(n.Sizes)
+	n.acts = make([][]float64, L)
+	n.deltas = make([][]float64, L)
+	for l := 1; l < L; l++ {
+		n.acts[l] = make([]float64, n.Sizes[l])
+		n.deltas[l] = make([]float64, n.Sizes[l])
+	}
+	n.predOut = make([]float64, n.Sizes[L-1])
+}
+
+// Forward runs the network and returns the per-layer activations (needed
+// for backprop). The returned slices are the network's scratch buffers;
+// acts[0] aliases x until the next pass.
 func (n *Network) forward(x []float64) [][]float64 {
 	if len(x) != n.Sizes[0] {
 		panic(fmt.Sprintf("mlp: input dim %d, want %d", len(x), n.Sizes[0]))
 	}
-	acts := make([][]float64, len(n.Sizes))
+	n.ensureScratch()
+	acts := n.acts
 	acts[0] = x
 	for l := 0; l < len(n.W); l++ {
 		in, out := n.Sizes[l], n.Sizes[l+1]
-		a := make([]float64, out)
+		a := acts[l+1]
 		prev := acts[l]
 		for j := 0; j < out; j++ {
 			s := n.B[l][j]
@@ -111,18 +143,18 @@ func (n *Network) forward(x []float64) [][]float64 {
 			}
 			a[j] = s
 		}
-		acts[l+1] = a
 	}
 	return acts
 }
 
-// Predict returns the network output for input x.
+// Predict returns the network output for input x. The returned slice is a
+// per-network scratch buffer, valid until the next Predict on this network
+// (callers may mutate it; callers that retain it across calls must copy).
 func (n *Network) Predict(x []float64) []float64 {
 	acts := n.forward(x)
-	out := acts[len(acts)-1]
-	cp := make([]float64, len(out))
-	copy(cp, out)
-	return cp
+	copy(n.predOut, acts[len(acts)-1])
+	n.acts[0] = nil // do not pin the caller's input between calls
+	return n.predOut
 }
 
 // TrainStep performs one SGD-with-momentum step on a single (x, target)
@@ -135,7 +167,7 @@ func (n *Network) TrainStep(x, target []float64, lr, momentum float64) float64 {
 		panic(fmt.Sprintf("mlp: target dim %d, want %d", len(target), len(out)))
 	}
 	// Output delta (linear output + MSE).
-	delta := make([]float64, len(out))
+	delta := n.deltas[L]
 	loss := 0.0
 	for j := range out {
 		e := out[j] - target[j]
@@ -147,9 +179,13 @@ func (n *Network) TrainStep(x, target []float64, lr, momentum float64) float64 {
 	for l := L - 1; l >= 0; l-- {
 		in, outW := n.Sizes[l], n.Sizes[l+1]
 		prev := acts[l]
+		delta := n.deltas[l+1]
 		var nextDelta []float64
 		if l > 0 {
-			nextDelta = make([]float64, in)
+			nextDelta = n.deltas[l]
+			for i := range nextDelta {
+				nextDelta[i] = 0
+			}
 		}
 		for j := 0; j < outW; j++ {
 			d := delta[j]
@@ -170,9 +206,9 @@ func (n *Network) TrainStep(x, target []float64, lr, momentum float64) float64 {
 			for i := 0; i < in; i++ {
 				nextDelta[i] *= n.activateGrad(acts[l][i])
 			}
-			delta = nextDelta
 		}
 	}
+	n.acts[0] = nil
 	return loss
 }
 
@@ -186,7 +222,10 @@ func (n *Network) TrainEpochs(xs, ys [][]float64, epochs int, lr, momentum float
 		return 0
 	}
 	rng := rand.New(rand.NewSource(seed))
-	order := make([]int, len(xs))
+	if cap(n.order) < len(xs) {
+		n.order = make([]int, len(xs))
+	}
+	order := n.order[:len(xs)]
 	for i := range order {
 		order[i] = i
 	}

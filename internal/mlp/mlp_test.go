@@ -82,6 +82,54 @@ func TestClone(t *testing.T) {
 	}
 }
 
+// TestPredictResultSurvivesTrainStep pins the scratch-buffer contract the
+// DQN training loop depends on: target := n.Predict(s) followed by
+// n.TrainStep(s, target, ...) must behave exactly as if target had been
+// copied — TrainStep's forward pass runs in the activation scratch, never
+// in the buffer backing Predict's result.
+func TestPredictResultSurvivesTrainStep(t *testing.T) {
+	build := func() *Network { return New(3, Tanh, 4, 6, 2) }
+	x := []float64{0.2, -0.4, 0.9, 0.1}
+
+	scratch := build()
+	target := scratch.Predict(x)
+	target[0] += 0.3 // the DQN Bellman-target mutation
+	scratch.TrainStep(x, target, 0.1, 0.5)
+
+	copied := build()
+	tgt := append([]float64(nil), copied.Predict(x)...)
+	tgt[0] += 0.3
+	copied.TrainStep(x, tgt, 0.1, 0.5)
+
+	for l := range scratch.W {
+		for i := range scratch.W[l] {
+			if scratch.W[l][i] != copied.W[l][i] {
+				t.Fatalf("layer %d weight %d diverged: scratch target was clobbered by TrainStep", l, i)
+			}
+		}
+	}
+}
+
+// TestPredictReusesBuffer documents (and pins) the Predict return contract:
+// the slice is per-network scratch, overwritten by the next Predict on the
+// same network, while a different network's result is unaffected.
+func TestPredictReusesBuffer(t *testing.T) {
+	n := New(5, Tanh, 2, 4, 1)
+	a := n.Predict([]float64{1, 0})
+	first := a[0]
+	b := n.Predict([]float64{0, 1})
+	if &a[0] != &b[0] {
+		t.Fatal("Predict allocated a new buffer; the zero-allocation contract regressed")
+	}
+	other := n.Clone().Predict([]float64{1, 0})
+	if other[0] != first {
+		t.Fatal("a clone's Predict disagreed with the original's for the same input")
+	}
+	if &other[0] == &b[0] {
+		t.Fatal("clone shares the original's scratch buffer")
+	}
+}
+
 func TestNumParams(t *testing.T) {
 	n := New(1, Tanh, 3, 5, 2)
 	want := 3*5 + 5 + 5*2 + 2

@@ -74,11 +74,13 @@ func maxIntE(a, b int) int {
 // Name implements Controller.
 func (c *Explicit) Name() string { return "explicit-nmpc" }
 
-// surface evaluates the fitted control surfaces for a forecast load.
+// surface evaluates the fitted control surfaces for a forecast load. The
+// input vector lives on the stack, so per-frame evaluation allocates
+// nothing.
 func (c *Explicit) surface(load float64, curSlices int) gpu.State {
-	x := []float64{load, float64(curSlices) / float64(c.Dev.MaxSlices)}
-	fNorm := clamp01(c.FreqSurf.Predict(x))
-	sNorm := clamp01(c.SliceSurf.Predict(x))
+	x := [2]float64{load, float64(curSlices) / float64(c.Dev.MaxSlices)}
+	fNorm := clamp01(c.FreqSurf.Predict(x[:]))
+	sNorm := clamp01(c.SliceSurf.Predict(x[:]))
 	return c.Dev.Clamp(gpu.State{
 		FreqIdx: int(fNorm*float64(len(c.Dev.OPPs)-1) + 0.5),
 		Slices:  1 + int(sNorm*float64(c.Dev.MaxSlices-1)+0.5),

@@ -46,19 +46,21 @@ func NewFrameTimePredictorRLS(dev *gpu.Device, lambda float64) *FrameTimePredict
 	return &FrameTimePredictor{Dev: dev, Est: rls.New(3, lambda, 100)}
 }
 
-func (fp *FrameTimePredictor) features(prevBusy float64, s gpu.State) []float64 {
+// featuresInto fills buf (length 3) and returns it; callers pass a stack
+// array so the per-frame Predict/Update pair allocates nothing.
+func (fp *FrameTimePredictor) featuresInto(buf []float64, prevBusy float64, s gpu.State) []float64 {
 	o := fp.Dev.OPPs[fp.Dev.Clamp(s).FreqIdx]
-	return []float64{
-		prevBusy / fp.Dev.Capacity(s), // work at the new operating point
-		1000 / o.FreqMHz,              // frequency-inverse term
-		1,
-	}
+	buf[0] = prevBusy / fp.Dev.Capacity(s) // work at the new operating point
+	buf[1] = 1000 / o.FreqMHz              // frequency-inverse term
+	buf[2] = 1
+	return buf
 }
 
 // Predict estimates the next frame's time given the previous frame's busy
 // cycles and the state it will run in.
 func (fp *FrameTimePredictor) Predict(prevBusy float64, s gpu.State) float64 {
-	t := fp.Est.Predict(fp.features(prevBusy, s))
+	var buf [3]float64
+	t := fp.Est.Predict(fp.featuresInto(buf[:], prevBusy, s))
 	if t < 0 {
 		t = 0
 	}
@@ -67,7 +69,8 @@ func (fp *FrameTimePredictor) Predict(prevBusy float64, s gpu.State) float64 {
 
 // Update feeds a measured frame back into the model.
 func (fp *FrameTimePredictor) Update(prevBusy float64, s gpu.State, measured float64) float64 {
-	return fp.Est.Update(fp.features(prevBusy, s), measured)
+	var buf [3]float64
+	return fp.Est.Update(fp.featuresInto(buf[:], prevBusy, s), measured)
 }
 
 // Fig2Point is one sample of the Figure 2 trace.

@@ -17,7 +17,7 @@ import (
 type GPUModels struct {
 	Dev        *gpu.Device
 	RenderTime *rls.RLS // [w/(f*S^alpha), 1] -> seconds
-	Energy     *rls.RLS // see energyFeatures -> joules per frame
+	Energy     *rls.RLS // see energyFeaturesInto -> joules per frame
 
 	workEst float64 // EWMA forecast of per-frame work (slice-cycles)
 	beta    float64 // forecast smoothing
@@ -34,11 +34,22 @@ func NewGPUModels(dev *gpu.Device) *GPUModels {
 	}
 }
 
-func (m *GPUModels) rtFeatures(work float64, s gpu.State) []float64 {
-	return []float64{work / m.Dev.Capacity(s), 1}
+// Feature dimensions of the two sensitivity models.
+const (
+	rtDim     = 2
+	energyDim = 4
+)
+
+// rtFeaturesInto fills buf (length rtDim) and returns it. The controllers'
+// per-frame candidate sweeps call this once per candidate, so the buffer is
+// caller-provided (a stack array) instead of allocated.
+func (m *GPUModels) rtFeaturesInto(buf []float64, work float64, s gpu.State) []float64 {
+	buf[0] = work / m.Dev.Capacity(s)
+	buf[1] = 1
+	return buf
 }
 
-func (m *GPUModels) energyFeatures(s gpu.State, tRender, budget float64) []float64 {
+func (m *GPUModels) energyFeaturesInto(buf []float64, s gpu.State, tRender, budget float64) []float64 {
 	s = m.Dev.Clamp(s)
 	o := m.Dev.OPPs[s.FreqIdx]
 	fGHz := o.FreqMHz / 1000
@@ -50,20 +61,21 @@ func (m *GPUModels) energyFeatures(s gpu.State, tRender, budget float64) []float
 	if tRender > span {
 		span = tRender
 	}
-	return []float64{
-		float64(s.Slices) * v2 * fGHz * tRender, // switching energy
-		float64(s.Slices) * v2 * span,           // slice leakage
-		span,                                    // fixed floor
-		1,
-	}
+	buf[0] = float64(s.Slices) * v2 * fGHz * tRender // switching energy
+	buf[1] = float64(s.Slices) * v2 * span           // slice leakage
+	buf[2] = span                                    // fixed floor
+	buf[3] = 1
+	return buf
 }
 
 // WorkForecast returns the EWMA prediction of the next frame's work.
 func (m *GPUModels) WorkForecast() float64 { return m.workEst }
 
 // PredictTime estimates the render time of the forecast work in state s.
+// It allocates nothing: the feature vector lives on the stack.
 func (m *GPUModels) PredictTime(work float64, s gpu.State) float64 {
-	t := m.RenderTime.Predict(m.rtFeatures(work, s))
+	var buf [rtDim]float64
+	t := m.RenderTime.Predict(m.rtFeaturesInto(buf[:], work, s))
 	if t < 0 {
 		t = 0
 	}
@@ -71,10 +83,11 @@ func (m *GPUModels) PredictTime(work float64, s gpu.State) float64 {
 }
 
 // PredictEnergy estimates the GPU energy of one frame in state s with the
-// given forecast work and frame budget.
+// given forecast work and frame budget. It allocates nothing.
 func (m *GPUModels) PredictEnergy(work float64, s gpu.State, budget float64) float64 {
 	t := m.PredictTime(work, s)
-	e := m.Energy.Predict(m.energyFeatures(s, t, budget))
+	var buf [energyDim]float64
+	e := m.Energy.Predict(m.energyFeaturesInto(buf[:], s, t, budget))
 	if e < 0 {
 		e = 0
 	}
@@ -97,8 +110,10 @@ func (m *GPUModels) Observe(stats gpu.FrameStats, budget float64) {
 			break
 		}
 	}
-	m.RenderTime.Update(m.rtFeatures(stats.BusyCycles, s), stats.RenderTime)
-	m.Energy.Update(m.energyFeatures(s, stats.RenderTime, budget), stats.EnergyGPU)
+	var rbuf [rtDim]float64
+	var ebuf [energyDim]float64
+	m.RenderTime.Update(m.rtFeaturesInto(rbuf[:], stats.BusyCycles, s), stats.RenderTime)
+	m.Energy.Update(m.energyFeaturesInto(ebuf[:], s, stats.RenderTime, budget), stats.EnergyGPU)
 }
 
 // Warmup trains the models by sweeping states over a short synthetic load
@@ -121,8 +136,10 @@ func (m *GPUModels) Warmup(budget float64) {
 				idle = 0
 			}
 			e := m.Dev.Power(s)*t + m.Dev.IdlePower(s)*idle
-			m.RenderTime.Update(m.rtFeatures(work, s), t)
-			m.Energy.Update(m.energyFeatures(s, t, budget), e)
+			var rbuf [rtDim]float64
+			var ebuf [energyDim]float64
+			m.RenderTime.Update(m.rtFeaturesInto(rbuf[:], work, s), t)
+			m.Energy.Update(m.energyFeaturesInto(ebuf[:], s, t, budget), e)
 		}
 	}
 }

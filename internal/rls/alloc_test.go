@@ -1,0 +1,29 @@
+//go:build !race
+
+package rls
+
+import "testing"
+
+// RLS.Update runs once per observed snippet in every online model; the
+// hot-path budget is zero steady-state allocations (ISSUE 3). The warm-up
+// call of AllocsPerRun absorbs the lazy px/g scratch sizing. Gated to
+// non-race builds: the race runtime instruments allocation.
+
+func TestUpdateAllocFree(t *testing.T) {
+	r := New(10, 0.98, 100)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	if avg := testing.AllocsPerRun(500, func() { r.Update(x, 1.0) }); avg != 0 {
+		t.Fatalf("Update allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestPredictAllocFree(t *testing.T) {
+	r := New(10, 0.98, 100)
+	x := make([]float64, 10)
+	if avg := testing.AllocsPerRun(500, func() { r.Predict(x) }); avg != 0 {
+		t.Fatalf("Predict allocates %.1f objects per call, want 0", avg)
+	}
+}

@@ -13,11 +13,16 @@ import (
 
 // RLS is a recursive-least-squares estimator of y = w'x with exponential
 // forgetting factor lambda in (0, 1].
+//
+// Update reuses per-estimator scratch buffers, so an RLS must not be shared
+// by concurrent updaters (Predict alone is safe on a quiescent estimator);
+// Clone one per consumer instead.
 type RLS struct {
 	W      []float64     // current weights
 	P      *mathx.Matrix // inverse correlation matrix
 	Lambda float64       // forgetting factor
 	n      int           // samples seen
+	px, g  []float64     // Update scratch (P*x and the gain vector)
 }
 
 // New returns an RLS estimator for dim features. delta sets the initial
@@ -56,16 +61,24 @@ func (r *RLS) Samples() int { return r.n }
 func (r *RLS) Predict(x []float64) float64 { return mathx.Dot(r.W, x) }
 
 // Update performs one RLS iteration with observation (x, y) and returns the
-// a-priori prediction error.
+// a-priori prediction error. It is allocation-free in steady state: the P*x
+// and gain vectors live in per-estimator scratch buffers.
 func (r *RLS) Update(x []float64, y float64) float64 {
 	if len(x) != len(r.W) {
 		panic(fmt.Sprintf("rls: feature dim %d, want %d", len(x), len(r.W)))
 	}
-	px := r.P.MulVec(x) // P x
+	if r.px == nil {
+		r.px = make([]float64, len(r.W))
+		r.g = make([]float64, len(r.W))
+	}
+	px := r.P.MulVecInto(r.px, x) // P x
 	denom := r.Lambda + mathx.Dot(x, px)
-	g := mathx.ScaleVec(1/denom, px) // gain vector
-	e := y - r.Predict(x)            // a-priori error
-	mathx.AxpyInPlace(e, g, r.W)     // w += g e
+	g, s := r.g, 1/denom
+	for i := range g { // gain vector g = px/denom
+		g[i] = s * px[i]
+	}
+	e := y - r.Predict(x)        // a-priori error
+	mathx.AxpyInPlace(e, g, r.W) // w += g e
 
 	// P = (P - g (P x)^T) / lambda
 	d := r.Dim()

@@ -118,10 +118,12 @@ const (
 	PolicyOnlineIL    = "online-il"
 )
 
-// newDecider builds a fresh decider for one session. Loaded policies are
-// shared read-only across offline sessions (Predict allocates its own
-// buffers); the online learner clones both the network and the models so
-// its training never touches another session.
+// newDecider builds a fresh decider for one session. The MLP policy's
+// inference path reuses per-policy scratch buffers (the zero-allocation
+// hot path), so every session — offline or online — gets its own clone;
+// the tree policy is stateless at inference time and stays shared. The
+// online learner additionally clones the models so its training never
+// touches another session.
 func (s *Server) newDecider(policy string, seed int64) (control.Decider, error) {
 	switch policy {
 	case PolicyOfflineIL:
@@ -132,7 +134,7 @@ func (s *Server) newDecider(policy string, seed int64) (control.Decider, error) 
 		if err != nil {
 			return nil, err
 		}
-		return &il.OfflineDecider{P: s.p, Policy: pol}, nil
+		return &il.OfflineDecider{P: s.p, Policy: pol.Clone()}, nil
 	case PolicyOfflineTree:
 		if s.store == nil {
 			return nil, fmt.Errorf("policy %q needs a policy file (-policy-file)", policy)

@@ -26,9 +26,19 @@ type OPP struct {
 type Config struct {
 	LittleFreqIdx int // index into Platform.LittleOPPs
 	BigFreqIdx    int // index into Platform.BigOPPs
-	NLittle       int // active little cores, 1..4 (one must stay on for the OS)
-	NBig          int // active big cores, 0..4
+	NLittle       int // active little cores, MinNLittle..MaxNLittle
+	NBig          int // active big cores, MinNBig..MaxNBig
 }
+
+// Core-count knob domains. One little core must stay online for the OS,
+// which is why MinNLittle is 1. Everything that clamps, enumerates or
+// range-checks the core knobs derives from these four constants.
+const (
+	MinNLittle = 1
+	MaxNLittle = 4
+	MinNBig    = 0
+	MaxNBig    = 4
+)
 
 // String renders the configuration compactly, e.g. "L1000/B1600 1L+4B".
 func (c Config) String() string {
@@ -134,16 +144,16 @@ func (p *Platform) Configs() []Config {
 func (p *Platform) Valid(c Config) bool {
 	return c.LittleFreqIdx >= 0 && c.LittleFreqIdx < len(p.LittleOPPs) &&
 		c.BigFreqIdx >= 0 && c.BigFreqIdx < len(p.BigOPPs) &&
-		c.NLittle >= 1 && c.NLittle <= 4 &&
-		c.NBig >= 0 && c.NBig <= 4
+		c.NLittle >= MinNLittle && c.NLittle <= MaxNLittle &&
+		c.NBig >= MinNBig && c.NBig <= MaxNBig
 }
 
 // Clamp returns the nearest valid configuration to c.
 func (p *Platform) Clamp(c Config) Config {
 	c.LittleFreqIdx = clampInt(c.LittleFreqIdx, 0, len(p.LittleOPPs)-1)
 	c.BigFreqIdx = clampInt(c.BigFreqIdx, 0, len(p.BigOPPs)-1)
-	c.NLittle = clampInt(c.NLittle, 1, 4)
-	c.NBig = clampInt(c.NBig, 0, 4)
+	c.NLittle = clampInt(c.NLittle, MinNLittle, MaxNLittle)
+	c.NBig = clampInt(c.NBig, MinNBig, MaxNBig)
 	return c
 }
 
@@ -152,37 +162,66 @@ func (p *Platform) Clamp(c Config) Config {
 // evaluates exactly this candidate set before every decision (Section
 // IV-A3).
 func (p *Platform) Neighborhood(c Config, radius int) []Config {
-	var out []Config
-	seen := map[uint32]bool{}
-	for dl := -radius; dl <= radius; dl++ {
-		for db := -radius; db <= radius; db++ {
-			for dnl := -radius; dnl <= radius; dnl++ {
-				for dnb := -radius; dnb <= radius; dnb++ {
-					n := p.Clamp(Config{
-						LittleFreqIdx: c.LittleFreqIdx + dl,
-						BigFreqIdx:    c.BigFreqIdx + db,
-						NLittle:       c.NLittle + dnl,
-						NBig:          c.NBig + dnb,
-					})
-					if !seen[n.Key()] {
-						seen[n.Key()] = true
-						out = append(out, n)
-					}
+	return p.AppendNeighborhood(nil, c, radius)
+}
+
+// AppendNeighborhood appends the neighborhood of c to dst and returns the
+// extended slice — the allocation-free form of Neighborhood for per-decision
+// hot paths that reuse the candidate buffer. The candidate set is the cross
+// product of the four clamped knob ranges, enumerated directly: each knob
+// value appears exactly once per range, so the result is duplicate-free by
+// construction and in the same order the clamp-and-dedup enumeration
+// produced historically.
+func (p *Platform) AppendNeighborhood(dst []Config, c Config, radius int) []Config {
+	loLF := clampInt(c.LittleFreqIdx-radius, 0, len(p.LittleOPPs)-1)
+	hiLF := clampInt(c.LittleFreqIdx+radius, 0, len(p.LittleOPPs)-1)
+	loBF := clampInt(c.BigFreqIdx-radius, 0, len(p.BigOPPs)-1)
+	hiBF := clampInt(c.BigFreqIdx+radius, 0, len(p.BigOPPs)-1)
+	loNL := clampInt(c.NLittle-radius, MinNLittle, MaxNLittle)
+	hiNL := clampInt(c.NLittle+radius, MinNLittle, MaxNLittle)
+	loNB := clampInt(c.NBig-radius, MinNBig, MaxNBig)
+	hiNB := clampInt(c.NBig+radius, MinNBig, MaxNBig)
+	for lf := loLF; lf <= hiLF; lf++ {
+		for bf := loBF; bf <= hiBF; bf++ {
+			for nl := loNL; nl <= hiNL; nl++ {
+				for nb := loNB; nb <= hiNB; nb++ {
+					dst = append(dst, Config{lf, bf, nl, nb})
 				}
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// InNeighborhood reports whether n is a member of the candidate set
+// AppendNeighborhood(c, radius) enumerates. n must be a valid configuration.
+func (p *Platform) InNeighborhood(c, n Config, radius int) bool {
+	in := func(v, cv, lo, hi int) bool {
+		return v >= clampInt(cv-radius, lo, hi) && v <= clampInt(cv+radius, lo, hi)
+	}
+	return in(n.LittleFreqIdx, c.LittleFreqIdx, 0, len(p.LittleOPPs)-1) &&
+		in(n.BigFreqIdx, c.BigFreqIdx, 0, len(p.BigOPPs)-1) &&
+		in(n.NLittle, c.NLittle, MinNLittle, MaxNLittle) &&
+		in(n.NBig, c.NBig, MinNBig, MaxNBig)
 }
 
 // Features encodes a configuration as normalized policy inputs in [0,1].
 func (p *Platform) Features(c Config) []float64 {
-	return []float64{
-		float64(c.LittleFreqIdx) / float64(len(p.LittleOPPs)-1),
-		float64(c.BigFreqIdx) / float64(len(p.BigOPPs)-1),
-		(float64(c.NLittle) - 1) / 3,
-		float64(c.NBig) / 4,
-	}
+	return p.AppendFeatures(make([]float64, 0, NumConfigFeatures), c)
+}
+
+// NumConfigFeatures is the length of Features.
+const NumConfigFeatures = 4
+
+// AppendFeatures appends the normalized knob features of c to dst and
+// returns the extended slice — the allocation-free form of Features.
+func (p *Platform) AppendFeatures(dst []float64, c Config) []float64 {
+	return append(dst,
+		float64(c.LittleFreqIdx)/float64(len(p.LittleOPPs)-1),
+		float64(c.BigFreqIdx)/float64(len(p.BigOPPs)-1),
+		(float64(c.NLittle)-1)/3,
+		float64(c.NBig)/4,
+	)
 }
 
 // FromFeatures inverts Features, snapping to the nearest valid knob values.

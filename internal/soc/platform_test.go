@@ -217,6 +217,84 @@ func TestNeighborhood(t *testing.T) {
 	}
 }
 
+// referenceNeighborhood is the historical clamp-and-dedup enumeration the
+// direct range enumeration of AppendNeighborhood replaced. The decision hot
+// path depends on the two producing identical candidate sequences (not just
+// identical sets): the argmin tie-breaking of OnlineIL.Decide follows
+// first-seen order.
+func referenceNeighborhood(p *Platform, c Config, radius int) []Config {
+	var out []Config
+	seen := map[uint32]bool{}
+	for dl := -radius; dl <= radius; dl++ {
+		for db := -radius; db <= radius; db++ {
+			for dnl := -radius; dnl <= radius; dnl++ {
+				for dnb := -radius; dnb <= radius; dnb++ {
+					n := p.Clamp(Config{
+						LittleFreqIdx: c.LittleFreqIdx + dl,
+						BigFreqIdx:    c.BigFreqIdx + db,
+						NLittle:       c.NLittle + dnl,
+						NBig:          c.NBig + dnb,
+					})
+					if !seen[n.Key()] {
+						seen[n.Key()] = true
+						out = append(out, n)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestAppendNeighborhoodMatchesReference(t *testing.T) {
+	p := NewXU3()
+	rng := rand.New(rand.NewSource(7))
+	cases := []Config{
+		{0, 0, 1, 0},   // min corner
+		{12, 18, 4, 4}, // max corner
+		{0, 18, 1, 4},  // mixed corners
+		{6, 9, 2, 2},   // interior
+		{1, 17, 4, 0},  // one off the edges
+		{12, 0, 1, 2},  // little pinned high, big pinned low
+	}
+	for i := 0; i < 60; i++ {
+		cases = append(cases, Config{rng.Intn(13), rng.Intn(19), 1 + rng.Intn(4), rng.Intn(5)})
+	}
+	var buf []Config
+	for _, c := range cases {
+		for radius := 1; radius <= 4; radius++ {
+			want := referenceNeighborhood(p, c, radius)
+			buf = p.AppendNeighborhood(buf[:0], c, radius)
+			if len(buf) != len(want) {
+				t.Fatalf("c=%v r=%d: %d candidates, reference has %d", c, radius, len(buf), len(want))
+			}
+			for k := range want {
+				if buf[k] != want[k] {
+					t.Fatalf("c=%v r=%d: candidate %d is %v, reference order has %v", c, radius, k, buf[k], want[k])
+				}
+			}
+			// Membership predicate must agree with the enumeration.
+			for _, n := range buf {
+				if !p.InNeighborhood(c, n, radius) {
+					t.Fatalf("c=%v r=%d: %v enumerated but InNeighborhood says no", c, radius, n)
+				}
+			}
+			// ...and reject non-members: probe the far corner, which is
+			// only a member when the radius reaches it.
+			probe := Config{LittleFreqIdx: 12, BigFreqIdx: 18, NLittle: 4, NBig: 4}
+			member := false
+			for _, n := range buf {
+				if n == probe {
+					member = true
+				}
+			}
+			if got := p.InNeighborhood(c, probe, radius); got != member {
+				t.Fatalf("c=%v r=%d: InNeighborhood(%v) = %v, enumeration says %v", c, radius, probe, got, member)
+			}
+		}
+	}
+}
+
 func TestFeaturesRoundTrip(t *testing.T) {
 	p := NewXU3()
 	rng := rand.New(rand.NewSource(1))

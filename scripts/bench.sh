@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite with -benchmem and emit a
+# machine-readable perf snapshot (BENCH_<tag>.json) so every future perf PR
+# is judged against a recorded baseline instead of a vibe.
+#
+# Usage:
+#   scripts/bench.sh [tag]            # writes BENCH_<tag>.json (default PR3)
+#   BENCHTIME=1x scripts/bench.sh ci  # CI smoke: one iteration per benchmark
+#   BENCH_PATTERN='Decision|Update' scripts/bench.sh hotpath
+#
+# Environment:
+#   BENCH_PATTERN  -bench regexp (default: the whole suite, '.')
+#   BENCHTIME      -benchtime (default: 1s; use 1x for a smoke run)
+#
+# Each JSON record carries every metric go test printed for the benchmark:
+# ns/op, B/op, allocs/op, plus any ReportMetric extras (mape_pct, speedup_x,
+# ...), keyed by unit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-PR3}"
+PATTERN="${BENCH_PATTERN:-.}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="BENCH_${TAG}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+
+awk -v tag="$TAG" -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^(goos|goarch|cpu):/ { split($0, kv, ": "); env[kv[1]] = kv[2]; next }
+/^Benchmark/ {
+  name[n] = $1
+  iters[n] = $2
+  m = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    if (m != "") m = m ", "
+    m = m sprintf("\"%s\": %s", $(i + 1), $i)
+  }
+  metrics[n] = m
+  n++
+}
+END {
+  printf "{\n"
+  printf "  \"tag\": \"%s\",\n", tag
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"goos\": \"%s\",\n", env["goos"]
+  printf "  \"goarch\": \"%s\",\n", env["goarch"]
+  printf "  \"cpu\": \"%s\",\n", env["cpu"]
+  printf "  \"benchmarks\": [\n"
+  for (i = 0; i < n; i++) {
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}%s\n", \
+      name[i], iters[i], metrics[i], (i < n - 1 ? "," : "")
+  }
+  printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
