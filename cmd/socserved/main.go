@@ -31,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,11 +47,14 @@ func main() {
 	bootstrap := flag.Bool("bootstrap", false, "train and write a quick policy to -policy-file if it does not exist")
 	seed := flag.Int64("seed", 42, "seed for bootstrap training, model warm-start and session decorrelation")
 	maxSessions := flag.Int("max-sessions", 1024, "maximum concurrent sessions")
+	shards := flag.Int("shards", 0, "session-registry shard count, rounded up to a power of two (0 = sized from GOMAXPROCS)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060); empty = disabled")
 	online := flag.Bool("online", true, "warm-start online models at boot so sessions may use policy online-il")
 	replay := flag.Int("replay", 0, "load-replay mode: drive this many synthetic clients and exit")
 	replaySteps := flag.Int("replay-steps", 200, "steps per replay client")
 	replayBatch := flag.Int("replay-batch", 1, "telemetry records per replay step request")
 	replayPolicy := flag.String("replay-policy", "offline-il", "session policy replay clients request")
+	replayDirect := flag.Bool("replay-direct", false, "replay through the in-process fast path instead of HTTP (measures the serving layer, not JSON)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -60,12 +64,18 @@ func main() {
 	if *maxSessions <= 0 {
 		fail("-max-sessions must be positive, got %d", *maxSessions)
 	}
+	if *shards < 0 {
+		fail("-shards must be non-negative, got %d", *shards)
+	}
 	if *replay < 0 || *replaySteps <= 0 || *replayBatch <= 0 {
 		fail("replay flags must be positive (-replay %d -replay-steps %d -replay-batch %d)",
 			*replay, *replaySteps, *replayBatch)
 	}
 	if *replay > 0 && *replay > *maxSessions {
 		fail("-replay %d exceeds -max-sessions %d", *replay, *maxSessions)
+	}
+	if *replayDirect && *replay == 0 {
+		fail("-replay-direct needs -replay")
 	}
 
 	p := soc.NewXU3()
@@ -99,6 +109,7 @@ func main() {
 		Platform:    p,
 		Store:       store,
 		MaxSessions: *maxSessions,
+		Shards:      *shards,
 		SeedBase:    *seed,
 	}
 	if *online && store != nil {
@@ -114,6 +125,23 @@ func main() {
 		fail("%v", err)
 	}
 	log.Printf("serving on %s", ln.Addr())
+
+	// -pprof exposes the profiling endpoints on a side listener so an
+	// operator can `go tool pprof http://host:port/debug/pprof/profile`
+	// against a live daemon without opening them on the service port.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail("-pprof %s: %v", *pprofAddr, err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", dialableAddr(pln.Addr()))
+		go func() {
+			// net/http/pprof registers on DefaultServeMux at import time.
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	// SIGHUP hot-reloads the policy file, the classic daemon contract.
 	hup := make(chan os.Signal, 1)
@@ -134,14 +162,19 @@ func main() {
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	if *replay > 0 {
-		stats, err := serve.Replay(serve.ReplayOptions{
-			BaseURL: "http://" + dialableAddr(ln.Addr()),
+		ropt := serve.ReplayOptions{
 			Clients: *replay,
 			Steps:   *replaySteps,
 			Batch:   *replayBatch,
 			Policy:  *replayPolicy,
 			Seed:    *seed,
-		})
+		}
+		if *replayDirect {
+			ropt.Server = srv
+		} else {
+			ropt.BaseURL = "http://" + dialableAddr(ln.Addr())
+		}
+		stats, err := serve.Replay(ropt)
 		if err != nil {
 			fail("replay: %v", err)
 		}

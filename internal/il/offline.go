@@ -170,6 +170,11 @@ func TrainTreePolicy(p *soc.Platform, ds Dataset, params regtree.Params) (*TreeP
 type OfflineDecider struct {
 	P      *soc.Platform
 	Policy Policy
+
+	// feat is the reused feature scratch; like the policies themselves, a
+	// decider serves one control loop at a time — concurrent consumers get
+	// their own instance (which every call site already does).
+	feat []float64
 }
 
 // Name implements control.Decider.
@@ -177,5 +182,6 @@ func (d *OfflineDecider) Name() string { return "offline-" + d.Policy.Name() }
 
 // Decide implements control.Decider.
 func (d *OfflineDecider) Decide(st control.State) soc.Config {
-	return d.Policy.PredictConfig(st.Features(d.P))
+	d.feat = st.AppendFeatures(d.feat[:0], d.P)
+	return d.Policy.PredictConfig(d.feat)
 }

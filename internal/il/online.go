@@ -48,6 +48,10 @@ type OnlineIL struct {
 	featBuf []float64
 	cands   []soc.Config
 	ev      *Evaluator
+	// txX is the standardized-features scratch of trainPolicy, reused so a
+	// retrain does not re-derive its input matrix storage every buffer
+	// fill (rows keep their capacity across updates).
+	txX [][]float64
 }
 
 // DefaultSeed is the historical training seed of a fresh OnlineIL. All
@@ -174,9 +178,18 @@ func (o *OnlineIL) interior(cur, best soc.Config) bool {
 }
 
 func (o *OnlineIL) trainPolicy() {
-	xs := o.Policy.Scaler.TransformAll(o.bufX)
+	for len(o.txX) < len(o.bufX) {
+		o.txX = growRow(o.txX)
+	}
+	o.txX = o.txX[:len(o.bufX)]
+	for i, row := range o.bufX {
+		if cap(o.txX[i]) < len(row) {
+			o.txX[i] = make([]float64, len(row))
+		}
+		o.txX[i] = o.Policy.Scaler.TransformInto(o.txX[i][:len(row)], row)
+	}
 	o.updates++
-	o.Policy.Net.TrainEpochs(xs, o.bufY, o.Epochs, o.LR, o.Momentum, o.Seed+int64(o.updates))
+	o.Policy.Net.TrainEpochs(o.txX, o.bufY, o.Epochs, o.LR, o.Momentum, o.Seed+int64(o.updates))
 }
 
 // Updates returns how many incremental policy updates have happened.

@@ -26,3 +26,19 @@ func TestTrainStepAllocFree(t *testing.T) {
 		t.Fatalf("TrainStep allocates %.1f objects per call, want 0", avg)
 	}
 }
+
+func TestTrainEpochsAllocFree(t *testing.T) {
+	n := New(1, Tanh, 13, 24, 16, 4)
+	xs := make([][]float64, 8)
+	ys := make([][]float64, 8)
+	for i := range xs {
+		xs[i] = make([]float64, 13)
+		ys[i] = []float64{0.5, 0.5, 0.5, 0.5}
+	}
+	// Warm once: lazily sized scratch (order, rng, activations) appears on
+	// the first call; after that every retrain must be allocation-free.
+	n.TrainEpochs(xs, ys, 2, 0.01, 0.9, 3)
+	if avg := testing.AllocsPerRun(100, func() { n.TrainEpochs(xs, ys, 4, 0.01, 0.9, 3) }); avg != 0 {
+		t.Fatalf("TrainEpochs allocates %.1f objects per call, want 0", avg)
+	}
+}

@@ -38,11 +38,13 @@ type Network struct {
 	// Scratch reused across calls (lazily sized, never serialized):
 	// acts[0] aliases the current input during a pass, acts[1..] and
 	// deltas[1..] are per-layer buffers, predOut backs Predict's result,
-	// order backs TrainEpochs' shuffle.
+	// order backs TrainEpochs' shuffle and rng its epoch shuffling (the
+	// source is re-seeded per call, so reuse is invisible to outputs).
 	acts    [][]float64
 	deltas  [][]float64
 	predOut []float64
 	order   []int
+	rng     *rand.Rand
 }
 
 // New constructs a network with the given layer sizes (at least input and
@@ -221,7 +223,14 @@ func (n *Network) TrainEpochs(xs, ys [][]float64, epochs int, lr, momentum float
 	if len(xs) == 0 {
 		return 0
 	}
-	rng := rand.New(rand.NewSource(seed))
+	// Re-seeding the persistent rng replays exactly the stream a fresh
+	// rand.New(rand.NewSource(seed)) would produce, without the per-call
+	// source+rng allocations the retrain-heavy online loop used to pay.
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(seed))
+	} else {
+		n.rng.Seed(seed)
+	}
 	if cap(n.order) < len(xs) {
 		n.order = make([]int, len(xs))
 	}
@@ -229,9 +238,12 @@ func (n *Network) TrainEpochs(xs, ys [][]float64, epochs int, lr, momentum float
 	for i := range order {
 		order[i] = i
 	}
+	// One swap closure for all epochs; allocating it inside the loop cost
+	// an object per epoch across every incremental policy update.
+	swap := func(i, j int) { order[i], order[j] = order[j], order[i] }
 	last := 0.0
 	for e := 0; e < epochs; e++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		n.rng.Shuffle(len(order), swap)
 		sum := 0.0
 		for _, i := range order {
 			sum += n.TrainStep(xs[i], ys[i], lr, momentum)

@@ -5,7 +5,10 @@
 // online RLS adaptation head as the section's closing paragraph calls for.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Direction indexes the four mesh output channels of a router.
 type Direction int
@@ -22,6 +25,11 @@ const (
 // Mesh is a W x H 2D mesh with XY dimension-ordered routing.
 type Mesh struct {
 	W, H int
+
+	// simPool holds reusable simulator scratch (packet arena, queue rings,
+	// CDF tables) so repeated Simulate runs — including concurrent ones —
+	// stop churning the allocator. See simScratch in sim.go.
+	simPool sync.Pool
 }
 
 // NewMesh returns a mesh topology. Width and height must be positive.

@@ -195,3 +195,55 @@ func TestTrainLatencyModelTooFewPoints(t *testing.T) {
 		t.Fatal("expected error with only saturated training points")
 	}
 }
+
+// TestSimulateGoldenOutputs pins the simulator bit-for-bit against values
+// recorded before the arena/ring-buffer refactor of the packet queues: the
+// allocation work must not change a single sample. The three cases cover
+// multi-class uniform, weighted-split transpose and a non-square hotspot
+// mesh, and each runs twice on the same Mesh so scratch reuse itself is
+// proven identical to a cold start.
+func TestSimulateGoldenOutputs(t *testing.T) {
+	type golden struct {
+		w, h    int
+		p       SimParams
+		avg     float64
+		del     int
+		inj     int
+		mean    float64
+		max     float64
+		classes []float64
+	}
+	cases := []golden{
+		{4, 4, SimParams{Lambda: 0.08, Pattern: Uniform, Classes: 2, Cycles: 5000, Warmup: 1000, Seed: 7},
+			2.7035008801095248, 5113, 5115, 0.070112499999999994, 0.091200000000000003,
+			[]float64{2.6642512077294684, 2.7405857740585775}},
+		{4, 4, SimParams{Lambda: 0.12, Pattern: Transpose, Classes: 3, ClassSplit: []float64{0.5, 0.3, 0.2}, Cycles: 4000, Warmup: 800, Seed: 42},
+			3.2747035573122529, 6072, 6078, 0.12565625, 0.38524999999999998,
+			[]float64{3.2273628552544613, 3.2624510352546165, 3.4058776806989672}},
+		{3, 5, SimParams{Lambda: 0.05, Pattern: Hotspot, Classes: 1, Cycles: 6000, Warmup: 1500, Seed: 99},
+			2.9124778237729156, 3382, 3383, 0.04805681818181818, 0.20499999999999999,
+			[]float64{2.9124778237729156}},
+	}
+	for _, c := range cases {
+		m := NewMesh(c.w, c.h)
+		for round := 0; round < 2; round++ {
+			r := m.Simulate(c.p)
+			if r.AvgLatency != c.avg || r.Delivered != c.del || r.Injected != c.inj ||
+				r.MeanChanUtil != c.mean || r.MaxChanUtil != c.max {
+				t.Fatalf("%dx%d seed %d round %d: got Avg=%.17g Del=%d Inj=%d Mean=%.17g Max=%.17g, want Avg=%.17g Del=%d Inj=%d Mean=%.17g Max=%.17g",
+					c.w, c.h, c.p.Seed, round,
+					r.AvgLatency, r.Delivered, r.Injected, r.MeanChanUtil, r.MaxChanUtil,
+					c.avg, c.del, c.inj, c.mean, c.max)
+			}
+			if len(r.ClassLatency) != len(c.classes) {
+				t.Fatalf("class count %d, want %d", len(r.ClassLatency), len(c.classes))
+			}
+			for i := range c.classes {
+				if r.ClassLatency[i] != c.classes[i] {
+					t.Fatalf("%dx%d seed %d round %d class %d: %.17g, want %.17g",
+						c.w, c.h, c.p.Seed, round, i, r.ClassLatency[i], c.classes[i])
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"math/rand"
+	"sync"
 )
 
 // packet is one single-flit packet in flight.
@@ -32,50 +33,171 @@ type SimParams struct {
 	Seed       int64
 }
 
+// pktNode is one arena slot: the packet plus an intrusive FIFO link, so
+// every queue in the simulator shares one backing array instead of
+// allocating per-append slice storage.
+type pktNode struct {
+	pkt  packet
+	next int32
+}
+
+// move records one packet crossing a channel this cycle.
+type move struct {
+	pkt  packet
+	into int // destination channel, -1 = ejected at router
+}
+
+// simScratch is the reusable working set of one Simulate run: the shared
+// packet arena with its free list, per-(channel,class) FIFO heads/tails,
+// the destination-CDF tables and the per-cycle move list. A run leaves
+// everything sized for the next one, so steady-state simulation allocates
+// only the returned ClassLatency slice. Scratch lives in a sync.Pool on
+// the Mesh so concurrent Simulate calls stay safe.
+type simScratch struct {
+	arena []pktNode
+	free  int32 // free-list head into arena, -1 = empty
+
+	qhead, qtail []int32 // per (channel*classes+class) FIFO, -1 = empty
+
+	cdf        []float64 // destination CDF, flattened n x n
+	cdfPattern Pattern
+	cdfNodes   int
+
+	classCDF   []float64
+	busy       []int
+	classCount []int
+	moves      []move
+}
+
+// alloc takes a node off the free list, or extends the arena.
+func (sc *simScratch) alloc() int32 {
+	if sc.free >= 0 {
+		n := sc.free
+		sc.free = sc.arena[n].next
+		return n
+	}
+	sc.arena = append(sc.arena, pktNode{})
+	return int32(len(sc.arena) - 1)
+}
+
+// push appends a packet to queue q (FIFO order preserved exactly).
+func (sc *simScratch) push(q int, pk packet) {
+	n := sc.alloc()
+	sc.arena[n] = pktNode{pkt: pk, next: -1}
+	if sc.qtail[q] >= 0 {
+		sc.arena[sc.qtail[q]].next = n
+	} else {
+		sc.qhead[q] = n
+	}
+	sc.qtail[q] = n
+}
+
+// pop removes and returns the head packet of queue q, which must not be
+// empty; the node returns to the free list.
+func (sc *simScratch) pop(q int) packet {
+	n := sc.qhead[q]
+	nd := &sc.arena[n]
+	pk := nd.pkt
+	sc.qhead[q] = nd.next
+	if nd.next < 0 {
+		sc.qtail[q] = -1
+	}
+	nd.next = sc.free
+	sc.free = n
+	return pk
+}
+
+// grabScratch readies a scratch for a run over nq queues.
+func (m *Mesh) grabScratch(nq, classes int) *simScratch {
+	sc, ok := m.simPool.Get().(*simScratch)
+	if !ok {
+		sc = &simScratch{}
+	}
+	if cap(sc.qhead) < nq {
+		sc.qhead = make([]int32, nq)
+		sc.qtail = make([]int32, nq)
+	}
+	sc.qhead = sc.qhead[:nq]
+	sc.qtail = sc.qtail[:nq]
+	for i := range sc.qhead {
+		sc.qhead[i] = -1
+		sc.qtail[i] = -1
+	}
+	sc.arena = sc.arena[:0]
+	sc.free = -1
+	if cap(sc.classCDF) < classes {
+		sc.classCDF = make([]float64, classes)
+		sc.classCount = make([]int, classes)
+	}
+	sc.classCDF = sc.classCDF[:classes]
+	sc.classCount = sc.classCount[:classes]
+	for i := range sc.classCount {
+		sc.classCount[i] = 0
+	}
+	nCh := nq / classes
+	if cap(sc.busy) < nCh {
+		sc.busy = make([]int, nCh)
+	}
+	sc.busy = sc.busy[:nCh]
+	for i := range sc.busy {
+		sc.busy[i] = 0
+	}
+	return sc
+}
+
+// destCDF returns the flattened per-source destination CDF for the
+// pattern, rebuilding it only when the pattern (or mesh size) changed since
+// the scratch last ran — the tables are pure functions of both.
+func (m *Mesh) destCDF(sc *simScratch, p Pattern, n int) []float64 {
+	if sc.cdfNodes == n && sc.cdfPattern == p && len(sc.cdf) == n*n {
+		return sc.cdf
+	}
+	if cap(sc.cdf) < n*n {
+		sc.cdf = make([]float64, n*n)
+	}
+	sc.cdf = sc.cdf[:n*n]
+	for s := 0; s < n; s++ {
+		acc := 0.0
+		row := sc.cdf[s*n : (s+1)*n]
+		for d := 0; d < n; d++ {
+			acc += m.destProb(p, s, d)
+			row[d] = acc
+		}
+	}
+	sc.cdfNodes, sc.cdfPattern = n, p
+	return sc.cdf
+}
+
 // Simulate runs the slotted priority-queue mesh model: every channel moves
 // one packet per cycle, arbitrating strictly by priority class then FIFO
 // order. It returns average end-to-end latency and channel utilization —
 // the ground truth the analytical and SVR models are judged against.
+// Results are bit-identical for a fixed seed regardless of scratch reuse
+// (pinned by TestSimulateGoldenOutputs).
 func (m *Mesh) Simulate(p SimParams) SimResult {
 	if p.Classes < 1 {
 		p.Classes = 1
 	}
 	split := p.ClassSplit
 	if split == nil {
-		split = make([]float64, p.Classes)
-		for i := range split {
-			split[i] = 1 / float64(p.Classes)
-		}
+		split = equalSplit(p.Classes)
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	nCh := m.NumChannels()
-	// queues[ch][class] is a FIFO of packets waiting for the channel.
-	queues := make([][][]packet, nCh)
-	for c := range queues {
-		queues[c] = make([][]packet, p.Classes)
-	}
-	// Precompute destination CDF per source for fast sampling.
 	n := m.Nodes()
-	cdf := make([][]float64, n)
-	for s := 0; s < n; s++ {
-		cdf[s] = make([]float64, n)
-		acc := 0.0
-		for d := 0; d < n; d++ {
-			acc += m.destProb(p.Pattern, s, d)
-			cdf[s][d] = acc
-		}
-	}
-	classCDF := make([]float64, p.Classes)
+	sc := m.grabScratch(nCh*p.Classes, p.Classes)
+	defer m.simPool.Put(sc)
+	cdf := m.destCDF(sc, p.Pattern, n)
 	acc := 0.0
 	for i, w := range split {
 		acc += w
-		classCDF[i] = acc
+		sc.classCDF[i] = acc
 	}
 
 	var res SimResult
 	res.ClassLatency = make([]float64, p.Classes)
-	classCount := make([]int, p.Classes)
-	busy := make([]int, nCh)
+	classCount := sc.classCount
+	busy := sc.busy
 	var latSum float64
 
 	sampleCDF := func(c []float64) int {
@@ -94,17 +216,17 @@ func (m *Mesh) Simulate(p SimParams) SimResult {
 			if rng.Float64() >= p.Lambda {
 				continue
 			}
-			dst := sampleCDF(cdf[s])
+			dst := sampleCDF(cdf[s*n : (s+1)*n])
 			if dst == s {
 				continue
 			}
-			cls := sampleCDF(classCDF)
+			cls := sampleCDF(sc.classCDF)
 			d, _, ok := m.NextHop(s, dst)
 			if !ok {
 				continue
 			}
 			ch := m.ChannelID(s, d)
-			queues[ch][cls] = append(queues[ch][cls], packet{dst: dst, class: cls, born: cyc})
+			sc.push(ch*p.Classes+cls, packet{dst: dst, class: cls, born: cyc})
 			if cyc >= p.Warmup {
 				res.Injected++
 			}
@@ -112,20 +234,13 @@ func (m *Mesh) Simulate(p SimParams) SimResult {
 		// Serve every channel: one packet per cycle, highest class first.
 		// Two-phase (collect then deliver) so a packet moves one hop per
 		// cycle even though we iterate channels in order.
-		type move struct {
-			pkt  packet
-			into int // destination channel, -1 = ejected at router
-			rtr  int
-		}
-		var moves []move
+		moves := sc.moves[:0]
 		for chID := 0; chID < nCh; chID++ {
 			for cls := 0; cls < p.Classes; cls++ {
-				q := queues[chID][cls]
-				if len(q) == 0 {
+				if sc.qhead[chID*p.Classes+cls] < 0 {
 					continue
 				}
-				pk := q[0]
-				queues[chID][cls] = q[1:]
+				pk := sc.pop(chID*p.Classes + cls)
 				busy[chID]++
 				// The packet crosses channel chID and lands at the
 				// neighbouring router.
@@ -144,14 +259,15 @@ func (m *Mesh) Simulate(p SimParams) SimResult {
 				}
 				at := m.Node(nx, ny)
 				if at == pk.dst {
-					moves = append(moves, move{pkt: pk, into: -1, rtr: at})
+					moves = append(moves, move{pkt: pk, into: -1})
 				} else {
 					nd, _, _ := m.NextHop(at, pk.dst)
-					moves = append(moves, move{pkt: pk, into: m.ChannelID(at, nd), rtr: at})
+					moves = append(moves, move{pkt: pk, into: m.ChannelID(at, nd)})
 				}
 				break // one packet per channel per cycle
 			}
 		}
+		sc.moves = moves
 		for _, mv := range moves {
 			if mv.into < 0 {
 				if mv.pkt.born >= p.Warmup {
@@ -163,7 +279,7 @@ func (m *Mesh) Simulate(p SimParams) SimResult {
 				}
 				continue
 			}
-			queues[mv.into][mv.pkt.class] = append(queues[mv.into][mv.pkt.class], mv.pkt)
+			sc.push(mv.into*p.Classes+mv.pkt.class, mv.pkt)
 		}
 	}
 	if res.Delivered > 0 {
@@ -194,4 +310,25 @@ func (m *Mesh) Simulate(p SimParams) SimResult {
 	}
 	res.MaxChanUtil = maxU
 	return res
+}
+
+// equalSplitCache backs the default class split so repeated runs with the
+// same class count share one read-only slice.
+var (
+	equalSplitMu    sync.Mutex
+	equalSplitCache = map[int][]float64{}
+)
+
+func equalSplit(classes int) []float64 {
+	equalSplitMu.Lock()
+	defer equalSplitMu.Unlock()
+	if s, ok := equalSplitCache[classes]; ok {
+		return s
+	}
+	s := make([]float64, classes)
+	for i := range s {
+		s[i] = 1 / float64(classes)
+	}
+	equalSplitCache[classes] = s
+	return s
 }

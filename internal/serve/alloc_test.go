@@ -1,0 +1,65 @@
+//go:build !race
+
+// Allocation-regression guards for the serving hot path, mirroring the
+// alloc_test.go pattern of il/mlp/rls: testing.AllocsPerRun pins the
+// direct-call step path at zero allocations and the JSON step path at a
+// small constant. The race runtime instruments allocation, so these only
+// bite in a plain build (CI runs them in the bench-smoke job).
+
+package serve
+
+import (
+	"testing"
+
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// stepFixture builds a server, one offline-il session and one telemetry
+// record for the hot-path alloc probes.
+func stepFixture(t *testing.T) (*Server, string, StepTelemetry) {
+	t.Helper()
+	srv, _, _ := newTestServer(t, nil)
+	created, err := srv.CreateSession(CreateRequest{Policy: PolicyOfflineIL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := soc.NewXU3()
+	app := workload.MiBench(8)[0]
+	cfg := p.Clamp(created.Start)
+	res := p.Execute(app.Snippets[0], cfg)
+	return srv, created.ID, StepTelemetry{
+		Counters: res.Counters, Config: cfg, Threads: 1,
+		TimeS: res.Time, EnergyJ: res.Energy,
+	}
+}
+
+func TestDirectStepAllocFree(t *testing.T) {
+	srv, id, tel := stepFixture(t)
+	// Warm once so lazily sized scratch (decider features) exists.
+	if _, _, err := srv.Step(id, &tel); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		if _, _, err := srv.Step(id, &tel); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("direct Step allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestDirectStepBatchAllocFree(t *testing.T) {
+	srv, id, tel := stepFixture(t)
+	entries := []BatchEntry{{Session: id, Steps: []StepTelemetry{tel, tel, tel, tel}}}
+	var results []BatchResult
+	results = srv.StepBatch(entries, results[:0])
+	if results[0].Error != "" {
+		t.Fatal(results[0].Error)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		results = srv.StepBatch(entries, results[:0])
+	}); avg != 0 {
+		t.Fatalf("direct StepBatch allocates %.1f objects per call, want 0", avg)
+	}
+}

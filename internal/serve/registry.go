@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// registry is the sharded session table behind the serving hot path. The
+// seed kept every session under one sync.RWMutex, so a burst of traffic on
+// unrelated sessions serialized on a single cache line; here each session
+// id hashes to one of N shards with its own lock, and the global count is
+// an atomic so the session cap never needs a cross-shard sweep.
+type registry struct {
+	shards []registryShard
+	mask   uint32
+	count  atomic.Int64
+	limit  int64
+}
+
+// registryShard pads to its own cache lines so neighbouring shard locks do
+// not false-share under concurrent traffic.
+type registryShard struct {
+	mu sync.RWMutex
+	m  map[string]*Session
+	_  [96]byte
+}
+
+// defaultShards sizes the table for the machine: enough shards that every P
+// can hold a different lock with room to spare, bounded so an idle daemon
+// does not carry hundreds of empty maps.
+func defaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// newRegistry builds a table with the requested shard count (rounded up to
+// a power of two; <=0 selects defaultShards) and session limit.
+func newRegistry(shards, limit int) *registry {
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &registry{shards: make([]registryShard, n), mask: uint32(n - 1), limit: int64(limit)}
+	for i := range r.shards {
+		r.shards[i].m = map[string]*Session{}
+	}
+	return r
+}
+
+// shardFor hashes a session id (FNV-1a, allocation-free) to its shard.
+func (r *registry) shardFor(id string) *registryShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &r.shards[h&r.mask]
+}
+
+// get returns the session with the given id, or nil.
+func (r *registry) get(id string) *Session {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	s := sh.m[id]
+	sh.mu.RUnlock()
+	return s
+}
+
+// insert adds a session, enforcing the global limit with an optimistic
+// reserve-then-publish on the atomic count so the cap needs no global lock.
+// It reports false when the table is full.
+func (r *registry) insert(s *Session) bool {
+	if r.count.Add(1) > r.limit {
+		r.count.Add(-1)
+		return false
+	}
+	sh := r.shardFor(s.ID)
+	sh.mu.Lock()
+	sh.m[s.ID] = s
+	sh.mu.Unlock()
+	return true
+}
+
+// remove deletes and returns the session with the given id, or nil.
+func (r *registry) remove(id string) *Session {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	s := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if s != nil {
+		r.count.Add(-1)
+	}
+	return s
+}
+
+// len returns the number of live sessions without touching any shard lock.
+func (r *registry) len() int { return int(r.count.Load()) }
+
+// forEach visits every live session, one shard at a time; fn must not call
+// back into the registry for the visited shard.
+func (r *registry) forEach(fn func(*Session)) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			fn(s)
+		}
+		sh.mu.RUnlock()
+	}
+}

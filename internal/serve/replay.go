@@ -12,11 +12,88 @@ import (
 	"socrm/internal/workload"
 )
 
+// Transport is how a replay client reaches the daemon: over HTTP exactly as
+// a real device agent would, or by direct in-process calls so load
+// generation is bounded by the serving hot path rather than by JSON and
+// HTTP round-trips. Implementations must be safe for concurrent use by
+// independent clients.
+type Transport interface {
+	// Create opens a session.
+	Create(req CreateRequest) (CreateResponse, error)
+	// Step decides the given telemetry records in order for one session.
+	// resp is reused across calls by each client; implementations fill
+	// Config (last decision), Configs (all decisions, when len(steps) > 1)
+	// and Step.
+	Step(id string, steps []StepTelemetry, resp *StepResponse) error
+	// Close deletes the session.
+	Close(id string) error
+}
+
+// HTTPTransport drives a daemon through its public HTTP API.
+type HTTPTransport struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// Create implements Transport.
+func (t HTTPTransport) Create(req CreateRequest) (CreateResponse, error) {
+	var created CreateResponse
+	err := call(t.Client, http.MethodPost, t.BaseURL+"/v1/sessions", req, &created)
+	return created, err
+}
+
+// Step implements Transport.
+func (t HTTPTransport) Step(id string, steps []StepTelemetry, resp *StepResponse) error {
+	var req StepRequest
+	if len(steps) == 1 {
+		req.StepTelemetry = steps[0]
+	} else {
+		req.Steps = steps
+	}
+	*resp = StepResponse{}
+	return call(t.Client, http.MethodPost,
+		fmt.Sprintf("%s/v1/sessions/%s/step", t.BaseURL, id), req, resp)
+}
+
+// Close implements Transport.
+func (t HTTPTransport) Close(id string) error {
+	return call(t.Client, http.MethodDelete, t.BaseURL+"/v1/sessions/"+id, nil, nil)
+}
+
+// DirectTransport drives a Server in-process: same decisions, same metrics
+// accounting, no serialization. This is the fast path Replay and the
+// throughput benchmarks use so the measured ceiling is the serving layer,
+// not the load generator.
+type DirectTransport struct {
+	Server *Server
+}
+
+// Create implements Transport.
+func (t DirectTransport) Create(req CreateRequest) (CreateResponse, error) {
+	return t.Server.CreateSession(req)
+}
+
+// Step implements Transport.
+func (t DirectTransport) Step(id string, steps []StepTelemetry, resp *StepResponse) error {
+	return t.Server.stepSequence(id, steps, resp)
+}
+
+// Close implements Transport.
+func (t DirectTransport) Close(id string) error {
+	_, err := t.Server.CloseSession(id)
+	return err
+}
+
 // ReplayOptions configure the built-in load generator: N synthetic clients,
-// each simulating one device with its own workload trace, driving the
-// daemon through the public HTTP API exactly as a real client would.
+// each simulating one device with its own workload trace.
 type ReplayOptions struct {
-	BaseURL string // e.g. http://127.0.0.1:8090
+	// Transport overrides how clients reach the daemon. When nil, Server
+	// selects the in-process direct path and BaseURL the HTTP path.
+	Transport Transport
+	// Server enables direct in-process replay against this server.
+	Server *Server
+	// BaseURL enables HTTP replay, e.g. http://127.0.0.1:8090.
+	BaseURL string
 	Clients int
 	Steps   int // telemetry steps per client
 	// Batch > 1 posts that many snippets per step request (open-loop within
@@ -27,7 +104,8 @@ type ReplayOptions struct {
 	// Workers bounds the driving pool; 0 runs every client on its own
 	// worker so Clients sessions are genuinely concurrent.
 	Workers int
-	// HTTPClient overrides the transport (tests inject the httptest client).
+	// HTTPClient overrides the HTTP transport (tests inject the httptest
+	// client).
 	HTTPClient *http.Client
 }
 
@@ -46,9 +124,29 @@ type ReplayStats struct {
 	TimeS   float64
 }
 
+// transport resolves the configured Transport.
+func (opt *ReplayOptions) transport() (Transport, error) {
+	if opt.Transport != nil {
+		return opt.Transport, nil
+	}
+	if opt.Server != nil {
+		return DirectTransport{Server: opt.Server}, nil
+	}
+	if opt.BaseURL != "" {
+		hc := opt.HTTPClient
+		if hc == nil {
+			hc = http.DefaultClient
+		}
+		return HTTPTransport{BaseURL: opt.BaseURL, Client: hc}, nil
+	}
+	return nil, fmt.Errorf("serve: replay needs a Transport, Server or BaseURL")
+}
+
 // Replay drives the daemon with opt.Clients concurrent sessions on the
 // experiment engine's worker pool and returns aggregate accounting. Any
 // client error aborts with the lowest-indexed failure, deterministically.
+// The decisions — and therefore the aggregate stats — are identical for
+// the HTTP and direct transports given the same seed.
 func Replay(opt ReplayOptions) (ReplayStats, error) {
 	if opt.Clients <= 0 || opt.Steps <= 0 {
 		return ReplayStats{}, fmt.Errorf("serve: replay needs positive clients and steps, got %d/%d", opt.Clients, opt.Steps)
@@ -59,9 +157,9 @@ func Replay(opt ReplayOptions) (ReplayStats, error) {
 	if opt.Policy == "" {
 		opt.Policy = PolicyOfflineIL
 	}
-	hc := opt.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
+	tr, err := opt.transport()
+	if err != nil {
+		return ReplayStats{}, err
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -74,7 +172,7 @@ func Replay(opt ReplayOptions) (ReplayStats, error) {
 		idx[i] = i
 	}
 	per, err := experiments.RunJobs(workers, idx, func(j experiments.Job[int]) (ClientStats, error) {
-		return replayClient(hc, p, opt, j.Input)
+		return replayClient(tr, p, opt, j.Input)
 	})
 	if err != nil {
 		return ReplayStats{}, err
@@ -90,28 +188,28 @@ func Replay(opt ReplayOptions) (ReplayStats, error) {
 
 // replayClient runs one synthetic device: create a session, close the loop
 // over its workload trace (execute snippet locally, post counters, adopt
-// the returned configuration), then delete the session.
-func replayClient(hc *http.Client, p *soc.Platform, opt ReplayOptions, client int) (ClientStats, error) {
+// the returned configuration), then delete the session. The telemetry batch
+// and response are reused across iterations, so a direct-transport client
+// allocates nothing in steady state.
+func replayClient(tr Transport, p *soc.Platform, opt ReplayOptions, client int) (ClientStats, error) {
 	seed := opt.Seed + int64(client)
 	seq := workload.NewSequence(workload.AllApps(seed)...)
 
-	var created CreateResponse
-	err := call(hc, http.MethodPost, opt.BaseURL+"/v1/sessions",
-		CreateRequest{Policy: opt.Policy, Seed: &seed}, &created)
+	created, err := tr.Create(CreateRequest{Policy: opt.Policy, Seed: &seed})
 	if err != nil {
 		return ClientStats{}, fmt.Errorf("client %d: create: %w", client, err)
 	}
-	stepURL := fmt.Sprintf("%s/v1/sessions/%s/step", opt.BaseURL, created.ID)
 
 	stats := ClientStats{}
 	cfg := p.Clamp(created.Start)
+	batch := make([]StepTelemetry, 0, opt.Batch)
+	var resp StepResponse
 	for done := 0; done < opt.Steps; {
 		n := opt.Batch
 		if rest := opt.Steps - done; n > rest {
 			n = rest
 		}
-		var req StepRequest
-		batch := make([]StepTelemetry, 0, n)
+		batch = batch[:0]
 		for k := 0; k < n; k++ {
 			sn := seq.Snippets[(done+k)%seq.Len()]
 			res := p.Execute(sn, cfg)
@@ -125,21 +223,14 @@ func replayClient(hc *http.Client, p *soc.Platform, opt ReplayOptions, client in
 			stats.EnergyJ += res.Energy
 			stats.TimeS += res.Time
 		}
-		if n == 1 {
-			req.StepTelemetry = batch[0]
-		} else {
-			req.Steps = batch
-		}
-		var resp StepResponse
-		if err := call(hc, http.MethodPost, stepURL, req, &resp); err != nil {
+		if err := tr.Step(created.ID, batch, &resp); err != nil {
 			return ClientStats{}, fmt.Errorf("client %d: step %d: %w", client, done, err)
 		}
 		cfg = p.Clamp(resp.Config)
 		done += n
 		stats.Steps += n
 	}
-	delURL := fmt.Sprintf("%s/v1/sessions/%s", opt.BaseURL, created.ID)
-	if err := call(hc, http.MethodDelete, delURL, nil, nil); err != nil {
+	if err := tr.Close(created.ID); err != nil {
 		return ClientStats{}, fmt.Errorf("client %d: close: %w", client, err)
 	}
 	return stats, nil

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -30,6 +31,10 @@ type Options struct {
 	// beyond the bound are refused with 503 instead of letting an
 	// over-eager client grow the heap without limit.
 	MaxSessions int
+	// Shards is the session-registry shard count (rounded up to a power of
+	// two; 0 = sized from GOMAXPROCS). One shard degenerates to the old
+	// single-mutex registry — useful as a contention baseline.
+	Shards int
 	// SeedBase decorrelates per-session learners: session n trains with
 	// seed SeedBase+n unless the create request carries an explicit seed.
 	SeedBase int64
@@ -43,8 +48,7 @@ type Server struct {
 	maxSessions int
 	seedBase    int64
 
-	mu       sync.RWMutex
-	sessions map[string]*Session
+	sessions *registry
 	nextID   atomic.Int64
 
 	reg             *metrics.Registry
@@ -74,7 +78,7 @@ func New(opt Options) *Server {
 		models:      opt.Models,
 		maxSessions: opt.MaxSessions,
 		seedBase:    opt.SeedBase,
-		sessions:    map[string]*Session{},
+		sessions:    newRegistry(opt.Shards, opt.MaxSessions),
 		reg:         reg,
 		mSessionsActive: reg.Gauge("socserved_sessions_active",
 			"Governor sessions currently open."),
@@ -99,7 +103,8 @@ func New(opt Options) *Server {
 
 // Reload hot-swaps the persisted policy for new sessions. Both the
 // /admin/reload endpoint and the daemon's SIGHUP handler land here so the
-// reload counter stays truthful either way.
+// reload counter stays truthful either way. In-flight sessions keep the
+// policy generation they were created with.
 func (s *Server) Reload() error {
 	if s.store == nil {
 		return fmt.Errorf("serve: no policy store configured")
@@ -117,6 +122,27 @@ const (
 	PolicyOfflineTree = "offline-tree"
 	PolicyOnlineIL    = "online-il"
 )
+
+// apiError is an error with an HTTP status, so the direct-call API and the
+// HTTP handlers agree on failure semantics.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func apiErrorf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusOf maps an error to its HTTP status (500 for non-API errors).
+func statusOf(err error) int {
+	if ae, isAPI := err.(*apiError); isAPI {
+		return ae.status
+	}
+	return http.StatusInternalServerError
+}
 
 // newDecider builds a fresh decider for one session. The MLP policy's
 // inference path reuses per-policy scratch buffers (the zero-allocation
@@ -175,11 +201,191 @@ func (s *Server) defaultStart() soc.Config {
 	}
 }
 
+// ---- Direct-call API ----
+// These are the same operations the HTTP handlers perform, callable
+// in-process so the replay driver and benchmarks can generate load without
+// paying JSON or HTTP round-trips. Errors carry HTTP statuses (apiError).
+
+// CreateSession opens a session and returns its handle plus the start
+// configuration the client should execute first.
+func (s *Server) CreateSession(req CreateRequest) (CreateResponse, error) {
+	if req.Policy == "" {
+		req.Policy = PolicyOfflineIL
+	}
+	// Refuse before building the decider: the session cap exists to bound
+	// the daemon's work, and an online-il decider clones a network plus
+	// the warm model template. The authoritative check is re-done by the
+	// registry insert; this one keeps rejected creates cheap.
+	if s.sessions.len() >= s.maxSessions {
+		return CreateResponse{}, apiErrorf(http.StatusServiceUnavailable,
+			"session limit %d reached", s.maxSessions)
+	}
+	id := s.nextID.Add(1)
+	seed := s.seedBase + id
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	dec, err := s.newDecider(req.Policy, seed)
+	if err != nil {
+		return CreateResponse{}, apiErrorf(http.StatusBadRequest, "%v", err)
+	}
+	sess := &Session{ID: "s-" + strconv.FormatInt(id, 10), Policy: req.Policy, dec: dec}
+	sess.lastCfg = s.defaultStart()
+	if !s.sessions.insert(sess) {
+		return CreateResponse{}, apiErrorf(http.StatusServiceUnavailable,
+			"session limit %d reached", s.maxSessions)
+	}
+	s.mSessionsTotal.Inc()
+	s.mSessionsActive.Add(1)
+	return CreateResponse{ID: sess.ID, Policy: req.Policy, Start: sess.lastCfg}, nil
+}
+
+// stepSession runs one decision on a live session with full metrics
+// accounting — the innermost serving hot path.
+func (s *Server) stepSession(sess *Session, t *StepTelemetry) (soc.Config, error) {
+	start := time.Now()
+	cfg, err := sess.step(s.p, t)
+	if err != nil {
+		s.mStepErrors.Inc()
+		return soc.Config{}, apiErrorf(http.StatusConflict, "%v", err)
+	}
+	s.mLatency.Observe(time.Since(start).Seconds())
+	s.mSteps.Inc()
+	s.mEnergy.Add(t.EnergyJ)
+	return cfg, nil
+}
+
+// stepEach decides steps in order for sess, appending each decided
+// configuration to configs. It is the one copy of the multi-record step
+// loop shared by the HTTP handlers, the batch API and the direct
+// transport.
+func (s *Server) stepEach(sess *Session, steps []StepTelemetry, configs []soc.Config) ([]soc.Config, error) {
+	for i := range steps {
+		cfg, err := s.stepSession(sess, &steps[i])
+		if err != nil {
+			return configs, err
+		}
+		configs = append(configs, cfg)
+	}
+	return configs, nil
+}
+
+// stepSequence is the direct-call fast path behind DirectTransport: one
+// registry lookup, then the shared step loop into resp (Config = last
+// decision, Configs = all decisions when more than one record came in).
+func (s *Server) stepSequence(id string, steps []StepTelemetry, resp *StepResponse) error {
+	// Refuse an empty sequence instead of silently succeeding: resp is
+	// reused across calls, and "no decision made" must never read as a
+	// fresh Config. (The HTTP path can't express this shape — an absent
+	// steps array means one inline record.)
+	if len(steps) == 0 {
+		s.mStepErrors.Inc()
+		return apiErrorf(http.StatusBadRequest, "step request carries no telemetry")
+	}
+	sess := s.sessions.get(id)
+	if sess == nil {
+		s.mStepErrors.Inc()
+		return apiErrorf(http.StatusNotFound, "no session %q", id)
+	}
+	configs, err := s.stepEach(sess, steps, resp.Configs[:0])
+	resp.Configs = configs
+	if err != nil {
+		return err
+	}
+	if len(configs) > 0 {
+		resp.Config = configs[len(configs)-1]
+	}
+	if len(steps) <= 1 {
+		resp.Configs = resp.Configs[:0]
+	}
+	resp.Step = sess.Steps()
+	return nil
+}
+
+// Step decides one telemetry record for the session and returns the next
+// configuration plus the session's step count.
+func (s *Server) Step(id string, t *StepTelemetry) (soc.Config, uint64, error) {
+	sess := s.sessions.get(id)
+	if sess == nil {
+		s.mStepErrors.Inc()
+		return soc.Config{}, 0, apiErrorf(http.StatusNotFound, "no session %q", id)
+	}
+	cfg, err := s.stepSession(sess, t)
+	if err != nil {
+		return soc.Config{}, 0, err
+	}
+	return cfg, sess.Steps(), nil
+}
+
+// StepBatch processes many (session, telemetry) entries in order, appending
+// one result per entry to results and returning the extended slice. Pass
+// results[:0] from a previous call to reuse its storage, including each
+// result's Configs backing array — the steady-state batch path then
+// allocates nothing. A failed entry carries its error in-band; the other
+// entries still step.
+func (s *Server) StepBatch(entries []BatchEntry, results []BatchResult) []BatchResult {
+	for i := range entries {
+		e := &entries[i]
+		results = growResults(results)
+		res := &results[len(results)-1]
+		res.Session = e.Session
+		res.Configs = res.Configs[:0]
+		res.Step = 0
+		res.Error = ""
+		sess := s.sessions.get(e.Session)
+		if sess == nil {
+			s.mStepErrors.Inc()
+			res.Error = fmt.Sprintf("no session %q", e.Session)
+			continue
+		}
+		configs, err := s.stepEach(sess, e.Steps, res.Configs)
+		res.Configs = configs
+		if err != nil {
+			res.Error = err.Error()
+		}
+		res.Step = sess.Steps()
+	}
+	return results
+}
+
+// growResults extends results by one slot, reviving the storage (and the
+// nested Configs capacity) of a slot truncated by a previous reuse cycle.
+func growResults(results []BatchResult) []BatchResult {
+	if len(results) < cap(results) {
+		return results[:len(results)+1]
+	}
+	return append(results, BatchResult{})
+}
+
+// CloseSession removes a session and returns its final state.
+func (s *Server) CloseSession(id string) (SessionInfo, error) {
+	sess := s.sessions.remove(id)
+	if sess == nil {
+		return SessionInfo{}, apiErrorf(http.StatusNotFound, "no session %q", id)
+	}
+	sess.close()
+	s.mSessionsClosed.Inc()
+	s.mSessionsActive.Add(-1)
+	return sess.info(), nil
+}
+
+// Info returns a session's observable state.
+func (s *Server) Info(id string) (SessionInfo, error) {
+	sess := s.sessions.get(id)
+	if sess == nil {
+		return SessionInfo{}, apiErrorf(http.StatusNotFound, "no session %q", id)
+	}
+	return sess.info(), nil
+}
+
+// ---- HTTP layer ----
+
 // Handler returns the daemon's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("POST /v1/step/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -221,54 +427,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if req.Policy == "" {
-		req.Policy = PolicyOfflineIL
-	}
-	// Refuse before building the decider: the session cap exists to bound
-	// the daemon's work, and an online-il decider clones a network plus
-	// the warm model template. The authoritative check is re-done under
-	// the lock at insert time; this one keeps rejected creates cheap.
-	s.mu.RLock()
-	full := len(s.sessions) >= s.maxSessions
-	s.mu.RUnlock()
-	if full {
-		writeError(w, http.StatusServiceUnavailable,
-			"session limit %d reached", s.maxSessions)
-		return
-	}
-	id := s.nextID.Add(1)
-	seed := s.seedBase + id
-	if req.Seed != nil {
-		seed = *req.Seed
-	}
-	dec, err := s.newDecider(req.Policy, seed)
+	resp, err := s.CreateSession(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, statusOf(err), "%v", err)
 		return
 	}
-	sess := &Session{ID: "s-" + strconv.FormatInt(id, 10), Policy: req.Policy, dec: dec}
-	sess.lastCfg = s.defaultStart()
-
-	s.mu.Lock()
-	if len(s.sessions) >= s.maxSessions {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable,
-			"session limit %d reached", s.maxSessions)
-		return
-	}
-	s.sessions[sess.ID] = sess
-	s.mu.Unlock()
-	s.mSessionsTotal.Inc()
-	s.mSessionsActive.Add(1)
-	writeJSON(w, http.StatusCreated, CreateResponse{
-		ID: sess.ID, Policy: req.Policy, Start: sess.lastCfg,
-	})
-}
-
-func (s *Server) lookup(id string) *Session {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sessions[id]
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // StepRequest is the body of POST /v1/sessions/{id}/step: either one
@@ -286,80 +450,181 @@ type StepResponse struct {
 	Step    uint64       `json:"step"`
 }
 
+// BatchEntry addresses one session inside POST /v1/step/batch.
+type BatchEntry struct {
+	Session string          `json:"session"`
+	Steps   []StepTelemetry `json:"steps"`
+}
+
+// BatchRequest is the body of POST /v1/step/batch: many sessions stepped in
+// one request, so a fleet-side aggregator pays one round trip per tick
+// instead of one per device.
+type BatchRequest struct {
+	Entries []BatchEntry `json:"entries"`
+}
+
+// BatchResult is one entry's outcome; Error is set in-band so one dead
+// session cannot fail a whole fleet tick.
+type BatchResult struct {
+	Session string       `json:"session"`
+	Configs []soc.Config `json:"configs,omitempty"`
+	Step    uint64       `json:"step,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+// BatchResponse carries one result per request entry, in order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// stepScratch is the pooled per-request workspace of the step endpoints:
+// the decoded requests (whose Steps/Entries backing arrays — including the
+// nested per-entry Steps storage — the streaming decoder reuses) and the
+// responses with their Configs/Results storage. Pooling it keeps the
+// per-step JSON path allocation-minimal without any per-session state in
+// the HTTP layer; requests decode straight off the body in one scan.
+type stepScratch struct {
+	req   StepRequest
+	body  bytes.Buffer
+	batch BatchRequest
+	resp  StepResponse
+	bresp BatchResponse
+}
+
+var stepScratchPool = sync.Pool{New: func() any { return &stepScratch{} }}
+
+// maxStepBody bounds step/batch request bodies. A full batch tick for a
+// thousand sessions is well under a megabyte; anything larger is a broken
+// or hostile client, and the pre-sized read buffer below must never trust
+// an attacker-controlled Content-Length into a giant allocation.
+const maxStepBody = 8 << 20
+
+// readBody drains the request body into the reused buffer. The batch
+// endpoint goes through it because bodies there run tens of kilobytes: a
+// streaming decoder would grow (and garbage) a window that large per
+// request, while one pooled buffer plus json.Unmarshal amortizes to zero.
+func (scr *stepScratch) readBody(w http.ResponseWriter, r *http.Request) error {
+	scr.body.Reset()
+	if n := r.ContentLength; n > 0 && n <= maxStepBody {
+		scr.body.Grow(int(n))
+	}
+	_, err := scr.body.ReadFrom(http.MaxBytesReader(w, r.Body, maxStepBody))
+	return err
+}
+
+// resetStep clears the step request through its full capacity before a
+// decode. The decoder only writes keys the body carries, so without this a
+// request omitting an optional field would inherit a previous request's
+// value from the pooled backing array. StepTelemetry is pointer-free, so
+// clear compiles to a memclr.
+func (scr *stepScratch) resetStep() {
+	scr.req.StepTelemetry = StepTelemetry{}
+	steps := scr.req.Steps[:cap(scr.req.Steps)]
+	clear(steps)
+	scr.req.Steps = steps[:0]
+}
+
+// resetBatch clears every entry slot through capacity while keeping each
+// slot's nested Steps storage alive for the decoder to reuse.
+func (scr *stepScratch) resetBatch() {
+	entries := scr.batch.Entries[:cap(scr.batch.Entries)]
+	for i := range entries {
+		e := &entries[i]
+		e.Session = ""
+		steps := e.Steps[:cap(e.Steps)]
+		clear(steps)
+		e.Steps = steps[:0]
+	}
+	scr.batch.Entries = entries[:0]
+}
+
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	sess := s.sessions.get(id)
 	if sess == nil {
 		s.mStepErrors.Inc()
-		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
-	var req StepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	scr := stepScratchPool.Get().(*stepScratch)
+	defer stepScratchPool.Put(scr)
+	scr.resetStep()
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxStepBody)).Decode(&scr.req); err != nil {
 		s.mStepErrors.Inc()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	batch := req.Steps
-	if len(batch) == 0 {
-		batch = []StepTelemetry{req.StepTelemetry}
-	}
-	resp := StepResponse{}
-	for _, t := range batch {
-		startT := time.Now()
-		cfg, err := sess.step(s.p, t)
+	scr.resp.Configs = scr.resp.Configs[:0]
+	if len(scr.req.Steps) > 0 {
+		configs, err := s.stepEach(sess, scr.req.Steps, scr.resp.Configs)
+		scr.resp.Configs = configs
 		if err != nil {
-			s.mStepErrors.Inc()
-			writeError(w, http.StatusConflict, "%v", err)
+			writeError(w, statusOf(err), "%v", err)
 			return
 		}
-		s.mLatency.Observe(time.Since(startT).Seconds())
-		s.mSteps.Inc()
-		s.mEnergy.Add(t.EnergyJ)
-		resp.Config = cfg
-		if len(req.Steps) > 0 {
-			resp.Configs = append(resp.Configs, cfg)
+		scr.resp.Config = configs[len(configs)-1]
+	} else {
+		cfg, err := s.stepSession(sess, &scr.req.StepTelemetry)
+		if err != nil {
+			writeError(w, statusOf(err), "%v", err)
+			return
 		}
+		scr.resp.Config = cfg
 	}
-	sess.mu.Lock()
-	resp.Step = sess.steps
-	sess.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	scr.resp.Step = sess.Steps()
+	writeJSON(w, http.StatusOK, &scr.resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	scr := stepScratchPool.Get().(*stepScratch)
+	defer stepScratchPool.Put(scr)
+	if err := scr.readBody(w, r); err != nil {
+		s.mStepErrors.Inc()
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	scr.resetBatch()
+	if err := json.Unmarshal(scr.body.Bytes(), &scr.batch); err != nil {
+		s.mStepErrors.Inc()
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(scr.batch.Entries) == 0 {
+		writeError(w, http.StatusBadRequest, "batch request carries no entries")
+		return
+	}
+	scr.bresp.Results = s.StepBatch(scr.batch.Entries, scr.bresp.Results[:0])
+	writeJSON(w, http.StatusOK, &scr.bresp)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookup(r.PathValue("id"))
-	if sess == nil {
-		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+	info, err := s.Info(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.info())
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	sess := s.sessions[id]
-	delete(s.sessions, id)
-	s.mu.Unlock()
-	if sess == nil {
-		writeError(w, http.StatusNotFound, "no session %q", id)
+	info, err := s.CloseSession(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusOf(err), "%v", err)
 		return
 	}
-	sess.close()
-	s.mSessionsClosed.Inc()
-	s.mSessionsActive.Add(-1)
-	writeJSON(w, http.StatusOK, sess.info())
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	// Aggregate per-session learner progress at scrape time; sessions are
-	// few relative to steps, so this stays off the hot path.
-	s.mu.RLock()
-	sessions := make([]*Session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
+	// Aggregate per-session learner progress at scrape time. Snapshot the
+	// session pointers first and only then take each session's own mutex:
+	// info() can block behind a mid-retrain session, and holding a shard
+	// read lock across that would queue writers — and, behind them, every
+	// step lookup on the shard — for the duration of a scrape.
+	sessions := make([]*Session, 0, s.sessions.len())
+	s.sessions.forEach(func(sess *Session) {
 		sessions = append(sessions, sess)
-	}
-	s.mu.RUnlock()
+	})
 	updates := 0
 	for _, sess := range sessions {
 		updates += sess.info().Updates
@@ -380,11 +645,7 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 }
 
 // SessionCount returns the number of open sessions.
-func (s *Server) SessionCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sessions)
-}
+func (s *Server) SessionCount() int { return s.sessions.len() }
 
 // Metrics exposes the registry so embedders (tests, the replay driver) can
 // read what /metrics reports.

@@ -44,8 +44,9 @@ type Session struct {
 
 // step runs one decision: telemetry in, next configuration out, mirroring
 // the decide-then-observe order of control.RunWithHook so a served online
-// learner behaves identically to one driven by the experiment loop.
-func (s *Session) step(p *soc.Platform, t StepTelemetry) (soc.Config, error) {
+// learner behaves identically to one driven by the experiment loop. The
+// telemetry is passed by pointer so batch callers never copy records.
+func (s *Session) step(p *soc.Platform, t *StepTelemetry) (soc.Config, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -67,6 +68,13 @@ func (s *Session) step(p *soc.Platform, t StepTelemetry) (soc.Config, error) {
 	s.energyJ += t.EnergyJ
 	s.lastCfg = next
 	return next, nil
+}
+
+// Steps returns the session's decided-step count.
+func (s *Session) Steps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
 }
 
 // SessionInfo is the observable state of a session.

@@ -4,26 +4,105 @@
 # is judged against a recorded baseline instead of a vibe.
 #
 # Usage:
-#   scripts/bench.sh [tag]            # writes BENCH_<tag>.json (default PR3)
-#   BENCHTIME=1x scripts/bench.sh ci  # CI smoke: one iteration per benchmark
+#   scripts/bench.sh [tag]                      # writes BENCH_<tag>.json (default PR4)
+#   scripts/bench.sh -compare BENCH_PR3.json ci # also diff against a baseline snapshot
+#   scripts/bench.sh -compare-snapshots BENCH_PR4.json BENCH_ci.json  # diff two files, no run
+#   BENCHTIME=1x scripts/bench.sh ci            # CI smoke: one iteration per benchmark
 #   BENCH_PATTERN='Decision|Update' scripts/bench.sh hotpath
 #
 # Environment:
-#   BENCH_PATTERN  -bench regexp (default: the whole suite, '.')
-#   BENCHTIME      -benchtime (default: 1s; use 1x for a smoke run)
+#   BENCH_PATTERN      -bench regexp (default: the whole suite, '.')
+#   BENCHTIME          -benchtime (default: 1s; use 1x for a smoke run)
+#   BENCH_REGRESS_PCT  -compare regression threshold in percent (default: 25)
 #
 # Each JSON record carries every metric go test printed for the benchmark:
 # ns/op, B/op, allocs/op, plus any ReportMetric extras (mape_pct, speedup_x,
 # ...), keyed by unit.
+#
+# -compare diffs the fresh run's ns/op and allocs/op against the given
+# snapshot, prints a per-benchmark report and exits nonzero when any
+# benchmark regressed past the threshold (allocs get a small absolute slack
+# so a 0->1 blip on a tiny count does not page anyone). New/removed
+# benchmarks are reported but never fail the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-PR3}"
+# compare_snapshots BASELINE NEW — the diff half alone, reused by CI so the
+# (blocking) harness run and the (non-blocking) regression report can be
+# separate steps without running the suite twice.
+compare_snapshots() {
+  BENCH_REGRESS_PCT="${BENCH_REGRESS_PCT:-25}" \
+  python3 - "$1" "$2" <<'PYEOF'
+import json, os, sys
+
+base_path, new_path = sys.argv[1], sys.argv[2]
+pct = float(os.environ.get("BENCH_REGRESS_PCT", "25"))
+ALLOC_SLACK = 2  # absolute allocs/op slack on top of the percentage
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b.get("metrics", {}) for b in doc.get("benchmarks", [])}
+
+base, new = load(base_path), load(new_path)
+regressions = []
+print(f"\n== bench compare vs {base_path} (threshold {pct:g}%) ==")
+print(f"{'benchmark':44s} {'ns/op':>22s} {'allocs/op':>18s}")
+for name in sorted(new):
+    if name not in base:
+        print(f"{name:44s} {'(new)':>22s}")
+        continue
+    row, bad = [], []
+    for key, slack in (("ns/op", 0.0), ("allocs/op", ALLOC_SLACK)):
+        b, n = base[name].get(key), new[name].get(key)
+        if b is None or n is None:
+            row.append(f"{'-':>18s}")
+            continue
+        delta = 0.0 if b == 0 else 100.0 * (n - b) / b
+        row.append(f"{b:g} -> {n:g} ({delta:+.1f}%)")
+        if n > b * (1 + pct / 100.0) + slack:
+            bad.append(f"{key} {b:g} -> {n:g}")
+    print(f"{name:44s} {row[0]:>22s} {row[1] if len(row) > 1 else '':>18s}")
+    if bad:
+        regressions.append(f"{name}: " + ", ".join(bad))
+for name in sorted(set(base) - set(new)):
+    print(f"{name:44s} {'(removed)':>22s}")
+if regressions:
+    print("\nREGRESSIONS past threshold:")
+    for r in regressions:
+        print("  " + r)
+    sys.exit(1)
+print("\nno regressions past threshold")
+PYEOF
+}
+
+if [ "${1:-}" = "-compare-snapshots" ]; then
+  [ $# -eq 3 ] || { echo "usage: bench.sh -compare-snapshots BASELINE.json NEW.json" >&2; exit 2; }
+  compare_snapshots "$2" "$3"
+  exit $?
+fi
+
+COMPARE=""
+ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -compare)
+      [ $# -ge 2 ] || { echo "bench.sh: -compare needs a file" >&2; exit 2; }
+      COMPARE="$2"; shift 2 ;;
+    *) ARGS+=("$1"); shift ;;
+  esac
+done
+TAG="${ARGS[0]:-PR4}"
 PATTERN="${BENCH_PATTERN:-.}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="BENCH_${TAG}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
+
+if [ -n "$COMPARE" ] && [ ! -f "$COMPARE" ]; then
+  echo "bench.sh: baseline $COMPARE not found" >&2
+  exit 2
+fi
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
@@ -57,3 +136,7 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+
+if [ -n "$COMPARE" ]; then
+  compare_snapshots "$COMPARE" "$OUT"
+fi
