@@ -47,12 +47,14 @@ func main() {
 
 	fmt.Printf("%dx%d mesh, %s traffic, %d priority classes\n", w, h, pattern, *classes)
 	t := &metrics.Table{Header: []string{"Lambda", "Simulated", "Analytical", "SVR", "MaxRho", "Hi-Pri", "Lo-Pri"}}
-	for _, lam := range []float64{0.03, 0.05, 0.07, 0.09, 0.11, 0.13} {
+	sweep := []float64{0.03, 0.05, 0.07, 0.09, 0.11, 0.13}
+	curve := mesh.LatencyCurve(sweep, pattern, *classes, nil)
+	for i, lam := range sweep {
 		sim := mesh.Simulate(noc.SimParams{
 			Lambda: lam, Pattern: pattern, Classes: *classes,
 			Cycles: *cycles, Warmup: *cycles / 5, Seed: *seed + 100,
 		})
-		ana := mesh.Analytical(lam, pattern, *classes, nil)
+		ana := curve[i]
 		hi, lo := "-", "-"
 		if *classes >= 2 {
 			hi = fmt.Sprintf("%.2f", sim.ClassLatency[0])

@@ -26,14 +26,15 @@ func main() {
 
 	fmt.Println("4x4 mesh, uniform traffic, 2 priority classes")
 	fmt.Printf("%8s %12s %12s %12s\n", "lambda", "simulated", "analytical", "svr-model")
-	for _, lam := range []float64{0.03, 0.05, 0.07, 0.09, 0.11, 0.13} {
+	sweep := []float64{0.03, 0.05, 0.07, 0.09, 0.11, 0.13}
+	curve := mesh.LatencyCurve(sweep, noc.Uniform, classes, nil)
+	for i, lam := range sweep {
 		sim := mesh.Simulate(noc.SimParams{
 			Lambda: lam, Pattern: noc.Uniform, Classes: classes,
 			Cycles: 30000, Warmup: 6000, Seed: 99,
 		})
-		ana := mesh.Analytical(lam, noc.Uniform, classes, nil)
 		fmt.Printf("%8.2f %12.2f %12.2f %12.2f\n",
-			lam, sim.AvgLatency, ana.AvgLatency, model.Predict(lam, noc.Uniform))
+			lam, sim.AvgLatency, curve[i].AvgLatency, model.Predict(lam, noc.Uniform))
 	}
 
 	// Online adaptation on hotspot traffic (never seen in training).

@@ -115,3 +115,30 @@ func TestAblationDeterminismAcrossWorkers(t *testing.T) {
 		t.Fatal("CadenceAblation differs between worker counts")
 	}
 }
+
+// TestGoldenFrameTimeDigests pins the STAFF/RLS frame-time pipeline the
+// same way TestGoldenFigureDigests pins the decision path: these digests
+// were captured BEFORE the PR-5 zero-allocation sweep (persistent STAFF
+// masked/reselect scratch, predictor-resident feature buffer, in-place
+// covariance Reset, inlined seedFor hash), so any change to that path
+// that is not bit-identical fails here.
+func TestGoldenFrameTimeDigests(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden digests recorded on amd64; GOARCH=%s may fuse floating-point ops", runtime.GOARCH)
+	}
+	digest := func(v interface{}) string {
+		return fmt.Sprintf("%x", sha256.Sum256([]byte(fmt.Sprintf("%v", v))))
+	}
+	want := map[string]struct {
+		got  string
+		want string
+	}{
+		"Fig2":       {digest(Fig2(42)), "644690ce3b2807aff52a78ee95b3987421457618d9faa7e169c16f797df43c15"},
+		"Forgetting": {digest(ForgettingAblation(42, 1)), "9b4c3b184c880282ce47f811341d704bd1411cfd0e1c7f0aba7febab1a3a518c"},
+	}
+	for name, d := range want {
+		if d.got != d.want {
+			t.Errorf("%s digest drifted from the pre-refactor golden:\n got  %s\n want %s", name, d.got, d.want)
+		}
+	}
+}

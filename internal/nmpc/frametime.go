@@ -19,6 +19,13 @@ import (
 type FrameTimePredictor struct {
 	Dev *gpu.Device
 	Est Estimator
+
+	// featBuf is the per-predictor feature scratch. A stack array would
+	// escape through the Estimator interface call on every Predict/Update
+	// (one heap allocation per frame, twice per frame in the experiment
+	// loop); the estimator reads the vector within the call and never
+	// retains it, so one persistent buffer serves the predictor's life.
+	featBuf [3]float64
 }
 
 // Estimator is the online-learner interface the frame-time predictor
@@ -46,21 +53,19 @@ func NewFrameTimePredictorRLS(dev *gpu.Device, lambda float64) *FrameTimePredict
 	return &FrameTimePredictor{Dev: dev, Est: rls.New(3, lambda, 100)}
 }
 
-// featuresInto fills buf (length 3) and returns it; callers pass a stack
-// array so the per-frame Predict/Update pair allocates nothing.
-func (fp *FrameTimePredictor) featuresInto(buf []float64, prevBusy float64, s gpu.State) []float64 {
+// features fills the predictor's feature scratch and returns it.
+func (fp *FrameTimePredictor) features(prevBusy float64, s gpu.State) []float64 {
 	o := fp.Dev.OPPs[fp.Dev.Clamp(s).FreqIdx]
-	buf[0] = prevBusy / fp.Dev.Capacity(s) // work at the new operating point
-	buf[1] = 1000 / o.FreqMHz              // frequency-inverse term
-	buf[2] = 1
-	return buf
+	fp.featBuf[0] = prevBusy / fp.Dev.Capacity(s) // work at the new operating point
+	fp.featBuf[1] = 1000 / o.FreqMHz              // frequency-inverse term
+	fp.featBuf[2] = 1
+	return fp.featBuf[:]
 }
 
 // Predict estimates the next frame's time given the previous frame's busy
 // cycles and the state it will run in.
 func (fp *FrameTimePredictor) Predict(prevBusy float64, s gpu.State) float64 {
-	var buf [3]float64
-	t := fp.Est.Predict(fp.featuresInto(buf[:], prevBusy, s))
+	t := fp.Est.Predict(fp.features(prevBusy, s))
 	if t < 0 {
 		t = 0
 	}
@@ -69,8 +74,7 @@ func (fp *FrameTimePredictor) Predict(prevBusy float64, s gpu.State) float64 {
 
 // Update feeds a measured frame back into the model.
 func (fp *FrameTimePredictor) Update(prevBusy float64, s gpu.State, measured float64) float64 {
-	var buf [3]float64
-	return fp.Est.Update(fp.featuresInto(buf[:], prevBusy, s), measured)
+	return fp.Est.Update(fp.features(prevBusy, s), measured)
 }
 
 // Fig2Point is one sample of the Figure 2 trace.
@@ -111,6 +115,9 @@ func RunFrameTimeExperimentWith(dev *gpu.Device, trace workload.GraphicsTrace, s
 	state := gpu.State{FreqIdx: len(dev.OPPs) / 2, Slices: dev.MaxSlices}
 	prev := state
 	var res Fig2Result
+	if n := len(trace.Frames); n > 1 {
+		res.Points = make([]Fig2Point, 0, n-1) // one point per frame after the first
+	}
 	var prevBusy float64
 	var sumAPE float64
 	var nAPE int

@@ -1,0 +1,32 @@
+//go:build !race
+
+package noc
+
+import "testing"
+
+// The analytical model runs inside LatencyCurve sweeps and model-training
+// loops; after the cached-table refactor its per-call budget is the
+// returned ClassLatency slice and nothing else. The warm-up call of
+// AllocsPerRun absorbs the one-time table build and scratch sizing. Gated
+// to non-race builds: the race runtime instruments allocation.
+
+func TestAnalyticalAllocFree(t *testing.T) {
+	m := NewMesh(8, 8)
+	if avg := testing.AllocsPerRun(200, func() {
+		m.Analytical(0.05, Uniform, 2, nil)
+	}); avg > 2 {
+		t.Fatalf("Analytical allocates %.1f objects per call, want <= 2 (result slice only)", avg)
+	}
+}
+
+func TestLatencyCurveAllocFree(t *testing.T) {
+	m := NewMesh(8, 8)
+	lambdas := []float64{0.02, 0.05, 0.08, 0.11}
+	// One result-slice header plus one ClassLatency per point.
+	limit := float64(len(lambdas) + 2)
+	if avg := testing.AllocsPerRun(100, func() {
+		m.LatencyCurve(lambdas, Hotspot, 2, nil)
+	}); avg > limit {
+		t.Fatalf("LatencyCurve allocates %.1f objects per sweep, want <= %.0f", avg, limit)
+	}
+}

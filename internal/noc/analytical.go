@@ -6,6 +6,14 @@ package noc
 // routing function and traffic pattern, each channel is treated as an
 // M/M/1-style server with head-of-line priority, and end-to-end latency is
 // the load-weighted mean over source-destination pairs.
+//
+// The routing function and traffic patterns are pure functions of the mesh
+// geometry, so every (src,dst) route and every pattern's destination
+// probabilities are precomputed once per Mesh (anaTables) and every call
+// fills reusable flat load/wait scratch (anaScratch): steady-state
+// evaluation allocates only the returned ClassLatency slice. Outputs are
+// bit-identical to the straight-line implementation — same pair order, same
+// summation order — pinned by TestAnalyticalGoldenOutputs.
 
 // AnalyticalResult holds the model outputs alongside the intermediate
 // quantities the SVR correction uses as features (ref [34] feeds the
@@ -19,91 +27,199 @@ type AnalyticalResult struct {
 	Saturated    bool // some channel load >= 1: the model diverges
 }
 
+// numPatterns counts the synthetic traffic patterns with cached tables.
+const numPatterns = 3
+
+// anaPair is one (src,dst) pair with nonzero traffic under a pattern.
+type anaPair struct {
+	idx int32   // src*n + dst, the route-table key
+	p   float64 // destination probability (all classes)
+}
+
+// anaTables is the immutable per-Mesh cache behind Analytical: all-pairs
+// XY routes flattened into one backing array with offsets, plus the
+// nonzero (src,dst,prob) pair list of every pattern in (src,dst) scan
+// order — exactly the order the straight-line model visited them.
+type anaTables struct {
+	routeOff []int32 // len n*n+1; route of key i is routes[routeOff[i]:routeOff[i+1]]
+	routes   []int32 // flattened channel ids in traversal order
+	pairs    [numPatterns][]anaPair
+}
+
+// route returns the cached channel sequence for pair key idx.
+func (t *anaTables) route(idx int32) []int32 {
+	return t.routes[t.routeOff[idx]:t.routeOff[idx+1]]
+}
+
+// analyticalTables lazily builds the route/traffic cache, once per Mesh.
+// The tables are read-only afterwards, so concurrent Analytical calls
+// share them freely.
+func (m *Mesh) analyticalTables() *anaTables {
+	m.anaOnce.Do(func() {
+		n := m.Nodes()
+		t := &anaTables{routeOff: make([]int32, n*n+1)}
+		total := 0
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				total += m.Hops(s, d)
+			}
+		}
+		t.routes = make([]int32, 0, total)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				cur := s
+				for cur != d {
+					dir, next, ok := m.NextHop(cur, d)
+					if !ok {
+						break
+					}
+					t.routes = append(t.routes, int32(m.ChannelID(cur, dir)))
+					cur = next
+				}
+				t.routeOff[s*n+d+1] = int32(len(t.routes))
+			}
+		}
+		for pat := Pattern(0); pat < numPatterns; pat++ {
+			var pairs []anaPair
+			for s := 0; s < n; s++ {
+				for d := 0; d < n; d++ {
+					if p := m.destProb(pat, s, d); p != 0 {
+						pairs = append(pairs, anaPair{idx: int32(s*n + d), p: p})
+					}
+				}
+			}
+			t.pairs[pat] = pairs
+		}
+		m.ana = t
+	})
+	return m.ana
+}
+
+// anaScratch is the reusable working set of one Analytical call: flat
+// per-(channel,class) loads and waiting times plus the per-class latency
+// weights. It lives in a sync.Pool on the Mesh so concurrent calls stay
+// safe.
+type anaScratch struct {
+	rho       []float64 // nCh*classes, rho[ch*classes+k]
+	wait      []float64 // nCh*classes, same layout
+	classLatW []float64 // classes
+}
+
+// grabAnaScratch readies a zeroed scratch for nCh channels and classes.
+func (m *Mesh) grabAnaScratch(nCh, classes int) *anaScratch {
+	sc, ok := m.anaPool.Get().(*anaScratch)
+	if !ok {
+		sc = &anaScratch{}
+	}
+	need := nCh * classes
+	if cap(sc.rho) < need {
+		sc.rho = make([]float64, need)
+		sc.wait = make([]float64, need)
+	}
+	sc.rho = sc.rho[:need]
+	clear(sc.rho)
+	sc.wait = sc.wait[:need]
+	if cap(sc.classLatW) < classes {
+		sc.classLatW = make([]float64, classes)
+	}
+	sc.classLatW = sc.classLatW[:classes]
+	clear(sc.classLatW)
+	return sc
+}
+
+// priorityWait is the head-of-line priority waiting time at a channel for
+// class k (non-preemptive M/M/1 with unit service):
+//
+//	W_k = rhoTotal / ((1 - sigma_{k-1}) * (1 - sigma_k))
+//
+// where sigma_k is the cumulative utilization of classes 0..k and rho
+// holds the channel's per-class loads.
+func priorityWait(rho []float64, k int) float64 {
+	var sigmaPrev, sigma, total float64
+	for j := range rho {
+		total += rho[j]
+		if j < k {
+			sigmaPrev += rho[j]
+		}
+		if j <= k {
+			sigma += rho[j]
+		}
+	}
+	const cap = 1e4
+	if sigma >= 0.999 || sigmaPrev >= 0.999 {
+		return cap
+	}
+	w := total / ((1 - sigmaPrev) * (1 - sigma))
+	if w > cap {
+		return cap
+	}
+	return w
+}
+
 // Analytical evaluates the model for injection rate lambda
 // (packets/node/cycle summed over classes) under the given pattern and
-// per-class traffic split (nil = equal).
+// per-class traffic split (nil = equal). It is safe for concurrent use.
 func (m *Mesh) Analytical(lambda float64, pattern Pattern, classes int, split []float64) AnalyticalResult {
 	if classes < 1 {
 		classes = 1
 	}
 	if split == nil {
-		split = make([]float64, classes)
-		for i := range split {
-			split[i] = 1 / float64(classes)
-		}
+		split = equalSplit(classes)
 	}
-	n := m.Nodes()
 	nCh := m.NumChannels()
-	// Per-channel per-class load.
-	rho := make([][]float64, nCh)
-	for c := range rho {
-		rho[c] = make([]float64, classes)
+	t := m.analyticalTables()
+	var pairs []anaPair
+	if pattern >= 0 && pattern < numPatterns {
+		pairs = t.pairs[pattern]
 	}
-	type pair struct {
-		src, dst int
-		w        float64 // packets/cycle on this pair (all classes)
-	}
-	var pairs []pair
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			p := m.destProb(pattern, s, d)
-			if p == 0 {
-				continue
-			}
-			w := lambda * p
-			pairs = append(pairs, pair{s, d, w})
-			for _, ch := range m.Route(s, d) {
-				for k := 0; k < classes; k++ {
-					rho[ch][k] += w * split[k]
-				}
+	sc := m.grabAnaScratch(nCh, classes)
+	defer m.anaPool.Put(sc)
+
+	// Per-channel per-class load, accumulated in pair order then route
+	// order then class order — the straight-line model's exact sequence.
+	rho := sc.rho
+	for i := range pairs {
+		pr := &pairs[i]
+		w := lambda * pr.p
+		for _, ch := range t.route(pr.idx) {
+			row := rho[int(ch)*classes : int(ch)*classes+classes]
+			for k := 0; k < classes; k++ {
+				row[k] += w * split[k]
 			}
 		}
 	}
 
-	// Head-of-line priority waiting time at a channel for class k
-	// (non-preemptive M/M/1 with unit service):
-	//   W_k = rhoTotal / ((1 - sigma_{k-1}) * (1 - sigma_k))
-	// where sigma_k is the cumulative utilization of classes 0..k.
-	wait := func(ch, k int) float64 {
-		var sigmaPrev, sigma, total float64
-		for j := 0; j < classes; j++ {
-			total += rho[ch][j]
-			if j < k {
-				sigmaPrev += rho[ch][j]
-			}
-			if j <= k {
-				sigma += rho[ch][j]
-			}
+	// The waiting time is a pure function of a channel's loads, so one
+	// table lookup replaces the per-pair recomputation of the old loop
+	// (identical value, computed once).
+	wait := sc.wait
+	for ch := 0; ch < nCh; ch++ {
+		row := rho[ch*classes : ch*classes+classes]
+		for k := 0; k < classes; k++ {
+			wait[ch*classes+k] = priorityWait(row, k)
 		}
-		const cap = 1e4
-		if sigma >= 0.999 || sigmaPrev >= 0.999 {
-			return cap
-		}
-		w := total / ((1 - sigmaPrev) * (1 - sigma))
-		if w > cap {
-			return cap
-		}
-		return w
 	}
 
 	res := AnalyticalResult{ClassLatency: make([]float64, classes)}
 	var wSum, latSum, hopSum float64
-	classLatW := make([]float64, classes)
-	for _, pr := range pairs {
-		route := m.Route(pr.src, pr.dst)
-		hopSum += float64(len(route)) * pr.w
+	classLatW := sc.classLatW
+	for i := range pairs {
+		pr := &pairs[i]
+		w := lambda * pr.p
+		route := t.route(pr.idx)
+		hopSum += float64(len(route)) * w
 		for k := 0; k < classes; k++ {
 			// One service cycle plus queueing per channel; ejection at the
 			// destination router is immediate, matching the simulator.
 			lat := 0.0
 			for _, ch := range route {
-				lat += 1 + wait(ch, k)
+				lat += 1 + wait[int(ch)*classes+k]
 			}
-			res.ClassLatency[k] += lat * pr.w * split[k]
-			classLatW[k] += pr.w * split[k]
-			latSum += lat * pr.w * split[k]
+			res.ClassLatency[k] += lat * w * split[k]
+			classLatW[k] += w * split[k]
+			latSum += lat * w * split[k]
 		}
-		wSum += pr.w
+		wSum += w
 	}
 	if wSum > 0 {
 		res.AvgLatency = latSum / wSum
@@ -119,8 +235,9 @@ func (m *Mesh) Analytical(lambda float64, pattern Pattern, classes int, split []
 	var used int
 	for c := 0; c < nCh; c++ {
 		var tot float64
+		row := rho[c*classes : c*classes+classes]
 		for k := 0; k < classes; k++ {
-			tot += rho[c][k]
+			tot += row[k]
 		}
 		if tot == 0 {
 			continue
@@ -137,4 +254,16 @@ func (m *Mesh) Analytical(lambda float64, pattern Pattern, classes int, split []
 	res.MaxChanRho = maxR
 	res.Saturated = maxR >= 0.999
 	return res
+}
+
+// LatencyCurve evaluates the analytical model over a grid of injection
+// rates in one sweep. Every point reuses the per-Mesh route/traffic tables
+// and pooled scratch, so a full saturation curve costs one ClassLatency
+// slice per point and nothing else.
+func (m *Mesh) LatencyCurve(lambdas []float64, pattern Pattern, classes int, split []float64) []AnalyticalResult {
+	out := make([]AnalyticalResult, len(lambdas))
+	for i, lam := range lambdas {
+		out[i] = m.Analytical(lam, pattern, classes, split)
+	}
+	return out
 }

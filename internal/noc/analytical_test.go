@@ -1,0 +1,124 @@
+package noc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAnalyticalGoldenOutputs pins the analytical model bit-for-bit against
+// values recorded before the cached-table/flat-scratch refactor: the
+// allocation work must not change a single float. Cases span square and
+// non-square meshes, all three patterns, 1-3 classes, default and weighted
+// splits, and a saturated point. Each case runs twice on the same Mesh so
+// scratch reuse itself is proven identical to a cold start, and once via
+// LatencyCurve so the sweep path is pinned to the point path.
+func TestAnalyticalGoldenOutputs(t *testing.T) {
+	type golden struct {
+		w, h    int
+		lam     float64
+		p       Pattern
+		classes int
+		split   []float64
+		avg     float64
+		hops    float64
+		mean    float64
+		max     float64
+		sat     bool
+		class   []float64
+	}
+	cases := []golden{
+		{4, 4, 0.05, Uniform, 1, nil,
+			2.7934272300469596, 2.6666666666666741, 0.044444444444444446, 0.053333333333333337, false,
+			[]float64{2.7934272300469596}},
+		{4, 4, 0.08, Uniform, 2, nil,
+			2.8755824674191932, 2.6666666666666639, 0.071111111111111125, 0.08533333333333333, false,
+			[]float64{2.867530713567676, 2.8836342212707105}},
+		{8, 8, 0.05, Uniform, 2, nil,
+			5.8157223015868142, 5.3333333333336359, 0.076190476190475948, 0.10158730158730137, false,
+			[]float64{5.793633543956407, 5.837811059217101}},
+		{8, 8, 0.03, Transpose, 3, []float64{0.5, 0.3, 0.2},
+			6.7008643573072453, 5.9166666666666217, 0.050714285714285677, 0.21333333333333332, false,
+			[]float64{6.638523625466623, 6.734505252601156, 6.806254843968125}},
+		{3, 5, 0.06, Hotspot, 2, nil,
+			3.1408827498705736, 2.8309523809523736, 0.057905844155844141, 0.25199999999999995, false,
+			[]float64{3.1129423874628173, 3.1688231122783317}},
+		{4, 4, 0.12, Hotspot, 3, []float64{0.2, 0.3, 0.5},
+			3.5189436863440142, 2.8266666666666538, 0.11306666666666665, 0.49919999999999992, false,
+			[]float64{3.329920687623839, 3.416663055904342, 3.6559212640958973}},
+		{4, 4, 1, Uniform, 1, nil,
+			10675.733333333359, 2.6666666666666732, 0.88888888888888873, 1.0666666666666667, true,
+			[]float64{10675.733333333359}},
+		{5, 3, 0.1, Transpose, 2, nil,
+			3.8474541380245761, 2.9190476190476189, 0.099512987012986998, 0.41428571428571426, false,
+			[]float64{3.6759301131818916, 4.018978162867259}},
+	}
+	check := func(t *testing.T, c golden, a AnalyticalResult, via string) {
+		t.Helper()
+		if a.AvgLatency != c.avg || a.AvgHops != c.hops ||
+			a.MeanChanRho != c.mean || a.MaxChanRho != c.max || a.Saturated != c.sat {
+			t.Fatalf("%s %dx%d lam=%v %v c=%d: got Avg=%.17g Hops=%.17g Mean=%.17g Max=%.17g Sat=%t, want Avg=%.17g Hops=%.17g Mean=%.17g Max=%.17g Sat=%t",
+				via, c.w, c.h, c.lam, c.p, c.classes,
+				a.AvgLatency, a.AvgHops, a.MeanChanRho, a.MaxChanRho, a.Saturated,
+				c.avg, c.hops, c.mean, c.max, c.sat)
+		}
+		if len(a.ClassLatency) != len(c.class) {
+			t.Fatalf("%s: class count %d, want %d", via, len(a.ClassLatency), len(c.class))
+		}
+		for i := range c.class {
+			if a.ClassLatency[i] != c.class[i] {
+				t.Fatalf("%s %dx%d lam=%v %v class %d: %.17g, want %.17g",
+					via, c.w, c.h, c.lam, c.p, i, a.ClassLatency[i], c.class[i])
+			}
+		}
+	}
+	for _, c := range cases {
+		m := NewMesh(c.w, c.h)
+		for round := 0; round < 2; round++ {
+			check(t, c, m.Analytical(c.lam, c.p, c.classes, c.split), "point")
+		}
+		curve := m.LatencyCurve([]float64{c.lam}, c.p, c.classes, c.split)
+		check(t, c, curve[0], "curve")
+	}
+}
+
+// TestAnalyticalUnknownPattern pins the out-of-range-pattern behavior the
+// straight-line model had (every destination probability zero): an all-zero
+// result, not a panic.
+func TestAnalyticalUnknownPattern(t *testing.T) {
+	m := NewMesh(4, 4)
+	for _, p := range []Pattern{Pattern(-1), Pattern(99)} {
+		a := m.Analytical(0.1, p, 2, nil)
+		if a.AvgLatency != 0 || a.AvgHops != 0 || a.MaxChanRho != 0 || a.Saturated {
+			t.Fatalf("pattern %d: want zero result, got %+v", p, a)
+		}
+		if len(a.ClassLatency) != 2 || a.ClassLatency[0] != 0 || a.ClassLatency[1] != 0 {
+			t.Fatalf("pattern %d: want zero class latencies, got %v", p, a.ClassLatency)
+		}
+	}
+}
+
+// TestAnalyticalConcurrent exercises the shared tables and pooled scratch
+// from many goroutines; run with -race to prove the cache build and reuse
+// are safe.
+func TestAnalyticalConcurrent(t *testing.T) {
+	m := NewMesh(6, 6)
+	want := m.Analytical(0.07, Hotspot, 2, nil)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				a := m.Analytical(0.07, Hotspot, 2, nil)
+				if a.AvgLatency != want.AvgLatency || a.MaxChanRho != want.MaxChanRho {
+					done <- fmt.Errorf("concurrent result diverged: %v vs %v", a.AvgLatency, want.AvgLatency)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -30,6 +30,13 @@ type Mesh struct {
 	// CDF tables) so repeated Simulate runs — including concurrent ones —
 	// stop churning the allocator. See simScratch in sim.go.
 	simPool sync.Pool
+
+	// anaOnce/ana cache the analytical model's route and traffic tables
+	// (pure functions of the geometry, built on first use); anaPool holds
+	// the per-call load/wait scratch. See anaTables in analytical.go.
+	anaOnce sync.Once
+	ana     *anaTables
+	anaPool sync.Pool
 }
 
 // NewMesh returns a mesh topology. Width and height must be positive.

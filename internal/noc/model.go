@@ -20,19 +20,37 @@ type LatencyModel struct {
 	model   *svr.Model
 	scaler  *counters.Scaler
 	online  *rls.RLS // residual adapter over the same scaled features
+
+	// Predict/Observe scratch: the raw feature vector, its scaled image
+	// and the bias-extended RLS input. A LatencyModel must not be shared
+	// by concurrent callers (Observe already trains in place); clone-free
+	// reuse of these buffers is what keeps the per-point cost flat.
+	featBuf [numModelFeatures]float64
+	xBuf    [numModelFeatures]float64
+	rlsBuf  [numModelFeatures + 1]float64
 }
 
-// featuresFor builds the model input for one operating point.
-func (m *Mesh) featuresFor(lambda float64, pattern Pattern, classes int) []float64 {
+// numModelFeatures is the SVR feature count of featuresInto.
+const numModelFeatures = 6
+
+// featuresInto fills buf (length numModelFeatures) with the model input
+// for one operating point and returns it.
+func (m *Mesh) featuresInto(buf []float64, lambda float64, pattern Pattern, classes int) []float64 {
 	a := m.Analytical(lambda, pattern, classes, nil)
-	return []float64{
-		lambda,
-		a.AvgHops,
-		a.AvgLatency,
-		a.MeanChanRho,
-		a.MaxChanRho,
-		lambda * a.AvgHops, // offered channel load proxy
-	}
+	buf[0] = lambda
+	buf[1] = a.AvgHops
+	buf[2] = a.AvgLatency
+	buf[3] = a.MeanChanRho
+	buf[4] = a.MaxChanRho
+	buf[5] = lambda * a.AvgHops // offered channel load proxy
+	return buf
+}
+
+// featuresFor builds a fresh model-input vector for one operating point
+// (training-time path; the per-prediction path reuses LatencyModel
+// scratch via featuresInto).
+func (m *Mesh) featuresFor(lambda float64, pattern Pattern, classes int) []float64 {
+	return m.featuresInto(make([]float64, numModelFeatures), lambda, pattern, classes)
 }
 
 // TrainLatencyModel sweeps injection rates for the given patterns, runs the
@@ -75,12 +93,22 @@ func TrainLatencyModel(m *Mesh, patterns []Pattern, lambdas []float64, classes, 
 	return lm, nil
 }
 
+// scaledFeatures fills the scratch buffers with the scaled feature vector
+// and its bias-extended copy for the RLS head.
+func (lm *LatencyModel) scaledFeatures(lambda float64, pattern Pattern) (x, xb []float64) {
+	raw := lm.mesh.featuresInto(lm.featBuf[:], lambda, pattern, lm.classes)
+	x = lm.scaler.TransformInto(lm.xBuf[:], raw)
+	copy(lm.rlsBuf[:], x)
+	lm.rlsBuf[numModelFeatures] = 1
+	return x, lm.rlsBuf[:]
+}
+
 // Predict estimates average packet latency at the operating point.
 func (lm *LatencyModel) Predict(lambda float64, pattern Pattern) float64 {
-	x := lm.scaler.Transform(lm.mesh.featuresFor(lambda, pattern, lm.classes))
+	x, xb := lm.scaledFeatures(lambda, pattern)
 	base := lm.model.Predict(x)
 	if lm.online != nil && lm.online.Samples() > 0 {
-		base += lm.online.Predict(append(x, 1))
+		base += lm.online.Predict(xb)
 	}
 	if base < 1 {
 		base = 1
@@ -92,7 +120,7 @@ func (lm *LatencyModel) Predict(lambda float64, pattern Pattern) float64 {
 // letting the model track workloads that drift away from the training
 // sweep.
 func (lm *LatencyModel) Observe(lambda float64, pattern Pattern, measured float64) {
-	x := lm.scaler.Transform(lm.mesh.featuresFor(lambda, pattern, lm.classes))
+	x, xb := lm.scaledFeatures(lambda, pattern)
 	base := lm.model.Predict(x)
-	lm.online.Update(append(x, 1), measured-base)
+	lm.online.Update(xb, measured-base)
 }

@@ -105,8 +105,14 @@ func (r *RLS) TraceP() float64 {
 	return t
 }
 
-// Reset reinitializes the covariance while keeping the weights, the standard
-// remedy after a divergence or a detected workload change.
+// Reset reinitializes the covariance to delta*I in place while keeping the
+// weights, the standard remedy after a divergence or a detected workload
+// change. Reusing the matrix storage keeps the stabilization path of STAFF
+// (which may reset every few steps near the trace bound) allocation-free.
 func (r *RLS) Reset(delta float64) {
-	r.P = mathx.Identity(r.Dim()).Scale(delta)
+	clear(r.P.Data)
+	d := r.Dim()
+	for i := 0; i < d; i++ {
+		r.P.Set(i, i, delta)
+	}
 }

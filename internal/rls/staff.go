@@ -34,6 +34,13 @@ type STAFF struct {
 	SelectEvery  int       // reassess the mask every this many samples
 	KeepFraction float64   // features kept per reassessment
 	minActive    int
+
+	// Persistent scratch: the masked copy of the input and the
+	// contribution-sorted index permutation of reselect. A STAFF is an
+	// online per-consumer estimator (like the RLS underneath), so
+	// Predict/Update must not be called concurrently on one instance.
+	maskedBuf []float64
+	selIdx    []int
 }
 
 // NewSTAFF returns a STAFF estimator over dim features.
@@ -50,6 +57,8 @@ func NewSTAFF(dim int, delta float64) *STAFF {
 		SelectEvery:  64,
 		KeepFraction: 0.75,
 		minActive:    2,
+		maskedBuf:    make([]float64, dim),
+		selIdx:       make([]int, dim),
 	}
 	for i := range s.Mask {
 		s.Mask[i] = true
@@ -70,12 +79,16 @@ func (s *STAFF) Lambda() float64 { return s.rls.Lambda }
 // last value).
 func (s *STAFF) Weights() []float64 { return s.rls.W }
 
-// masked returns x with inactive features zeroed.
+// masked returns x with inactive features zeroed, in persistent scratch:
+// the underlying RLS reads the vector within the call and never retains
+// it, so one buffer serves every Predict/Update.
 func (s *STAFF) masked(x []float64) []float64 {
-	mx := make([]float64, len(x))
+	mx := s.maskedBuf[:len(x)]
 	for i, v := range x {
 		if s.Mask[i] {
 			mx[i] = v
+		} else {
+			mx[i] = 0
 		}
 	}
 	return mx
@@ -131,7 +144,7 @@ func (s *STAFF) reselect() {
 		return
 	}
 	// Threshold = keep-th largest contribution (simple selection, d small).
-	idx := make([]int, d)
+	idx := s.selIdx[:d]
 	for i := range idx {
 		idx[i] = i
 	}

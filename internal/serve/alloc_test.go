@@ -9,6 +9,10 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"socrm/internal/soc"
@@ -46,6 +50,48 @@ func TestDirectStepAllocFree(t *testing.T) {
 		}
 	}); avg != 0 {
 		t.Fatalf("direct Step allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// sinkWriter and replayBody mirror the root benchmark's fixtures: sink the
+// response without per-request buffers and re-arm one body without a
+// per-step NopCloser, so the probe measures the handler's own allocations.
+type sinkWriter struct{ h http.Header }
+
+func (d *sinkWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = http.Header{}
+	}
+	return d.h
+}
+func (d *sinkWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *sinkWriter) WriteHeader(int)             {}
+
+type replayBody struct{ r bytes.Reader }
+
+func (rb *replayBody) Read(p []byte) (int, error) { return rb.r.Read(p) }
+func (rb *replayBody) Close() error               { return nil }
+
+// TestHTTPStepAllocFree pins the JSON single-step endpoint (ISSUE 5
+// satellite: the path sat at 13 allocs/op after PR 4). The persistent
+// per-scratch decoder/encoder hold it at ~1; the budget leaves slack for
+// runtime-internal drift but must never climb back toward double digits.
+func TestHTTPStepAllocFree(t *testing.T) {
+	srv, id, tel := stepFixture(t)
+	h := srv.Handler()
+	body, err := json.Marshal(StepRequest{StepTelemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+id+"/step", nil)
+	rb := &replayBody{}
+	w := &sinkWriter{}
+	if avg := testing.AllocsPerRun(500, func() {
+		rb.r.Reset(body)
+		req.Body = rb
+		h.ServeHTTP(w, req)
+	}); avg > 4 {
+		t.Fatalf("HTTP step allocates %.1f objects per request, want <= 4", avg)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"socrm/internal/il"
 	"socrm/internal/soc"
@@ -395,5 +397,116 @@ func TestPolicyStoreSurvivesBadFile(t *testing.T) {
 	if err := call(hc, http.MethodPost, ts.URL+"/v1/sessions",
 		CreateRequest{Policy: PolicyOfflineIL}, &created); err != nil {
 		t.Fatalf("sessions must keep working after a failed reload: %v", err)
+	}
+}
+
+// TestStepDecoderSurvivesHostileBodies guards the persistent per-scratch
+// JSON decoder of the step path: a malformed body must not leave a sticky
+// error for the next request, and trailing garbage after a valid value
+// must never leak into a later request's decode. Requests run sequentially
+// against the handler, so the pooled scratch (and its decoder) is reused
+// across the hostile/clean alternation.
+func TestStepDecoderSurvivesHostileBodies(t *testing.T) {
+	srv, _, _ := newTestServer(t, nil)
+	h := srv.Handler()
+	created, err := srv.CreateSession(CreateRequest{Policy: PolicyOfflineIL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := soc.NewXU3()
+	app := workload.MiBench(3)[0]
+	res := p.Execute(app.Snippets[0], p.Clamp(created.Start))
+	good, err := json.Marshal(StepRequest{StepTelemetry: StepTelemetry{
+		Counters: res.Counters, Config: p.Clamp(created.Start), Threads: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "/v1/sessions/" + created.ID + "/step"
+	do := func(body string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, url, strings.NewReader(body)))
+		return w
+	}
+	hostile := []string{
+		"{not json",                    // malformed: decoder error state
+		string(good) + "{\"steps\":[]", // valid value, poisoned tail
+		string(good) + string(good),    // a second full value in the body
+		"",                             // empty body
+		"   \n\t ",                     // whitespace only
+	}
+	for round := 0; round < 20; round++ {
+		bad := hostile[round%len(hostile)]
+		if w := do(bad); w.Code == http.StatusOK && strings.TrimSpace(bad) == "" {
+			t.Fatalf("round %d: empty body must not succeed", round)
+		}
+		w := do(string(good))
+		if w.Code != http.StatusOK {
+			t.Fatalf("round %d: clean request after %q got %d: %s", round, bad, w.Code, w.Body.String())
+		}
+		var resp StepResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("round %d: bad response: %v", round, err)
+		}
+		if !p.Valid(resp.Config) {
+			t.Fatalf("round %d: invalid config %+v", round, resp.Config)
+		}
+	}
+}
+
+// blockingBody yields its payload, then blocks on Read until closed —
+// the shape of a chunked request whose client keeps the stream open
+// while waiting for the response. The step handler must never read past
+// the decoded value (a trailing-data probe that refills from the body
+// would deadlock: client waits on server, server on client).
+type blockingBody struct {
+	payload *bytes.Reader
+	release chan struct{}
+}
+
+func (b *blockingBody) Read(p []byte) (int, error) {
+	n, err := b.payload.Read(p)
+	if n > 0 {
+		return n, nil
+	}
+	_ = err
+	<-b.release // block like a live chunked stream with no data yet
+	return 0, io.EOF
+}
+func (b *blockingBody) Close() error { return nil }
+
+func TestStepDoesNotBlockOnStreamingBody(t *testing.T) {
+	srv, _, _ := newTestServer(t, nil)
+	h := srv.Handler()
+	created, err := srv.CreateSession(CreateRequest{Policy: PolicyOfflineIL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := soc.NewXU3()
+	app := workload.MiBench(3)[0]
+	res := p.Execute(app.Snippets[0], p.Clamp(created.Start))
+	good, err := json.Marshal(StepRequest{StepTelemetry: StepTelemetry{
+		Counters: res.Counters, Config: p.Clamp(created.Start), Threads: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := &blockingBody{payload: bytes.NewReader(good), release: make(chan struct{})}
+	defer close(body.release)
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+created.ID+"/step", body)
+	req.ContentLength = -1 // streaming: length unknown
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		done <- w
+	}()
+	select {
+	case w := <-done:
+		if w.Code != http.StatusOK {
+			t.Fatalf("streaming step got %d: %s", w.Code, w.Body.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("step handler blocked reading past the decoded value on a streaming body")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -479,19 +480,32 @@ type BatchResponse struct {
 
 // stepScratch is the pooled per-request workspace of the step endpoints:
 // the decoded requests (whose Steps/Entries backing arrays — including the
-// nested per-entry Steps storage — the streaming decoder reuses) and the
+// nested per-entry Steps storage — json.Unmarshal reuses) and the
 // responses with their Configs/Results storage. Pooling it keeps the
 // per-step JSON path allocation-minimal without any per-session state in
-// the HTTP layer; requests decode straight off the body in one scan.
+// the HTTP layer. Single steps decode on a persistent json.Decoder (see
+// decode); batch bodies run tens of kilobytes and go through the pooled
+// read buffer plus json.Unmarshal. The buffer doubles as the response
+// encode target (the decoded structs never alias the request bytes —
+// telemetry is all numbers and Unmarshal copies strings), with a
+// persistent Encoder bound to it.
 type stepScratch struct {
 	req   StepRequest
 	body  bytes.Buffer
 	batch BatchRequest
 	resp  StepResponse
 	bresp BatchResponse
+	lim   io.LimitedReader
+	dec   *json.Decoder // persistent, reads through &lim; see decode
+	enc   *json.Encoder // bound to &body, created on first response
 }
 
 var stepScratchPool = sync.Pool{New: func() any { return &stepScratch{} }}
+
+// contentTypeJSON is the shared Content-Type value slice the hot path
+// assigns into the response header map, sparing the per-request slice that
+// Header().Set would allocate. net/http treats header values as read-only.
+var contentTypeJSON = []string{"application/json"}
 
 // maxStepBody bounds step/batch request bodies. A full batch tick for a
 // thousand sessions is well under a megabyte; anything larger is a broken
@@ -499,17 +513,88 @@ var stepScratchPool = sync.Pool{New: func() any { return &stepScratch{} }}
 // an attacker-controlled Content-Length into a giant allocation.
 const maxStepBody = 8 << 20
 
-// readBody drains the request body into the reused buffer. The batch
-// endpoint goes through it because bodies there run tens of kilobytes: a
-// streaming decoder would grow (and garbage) a window that large per
-// request, while one pooled buffer plus json.Unmarshal amortizes to zero.
-func (scr *stepScratch) readBody(w http.ResponseWriter, r *http.Request) error {
+// readBody drains the request body into the reused buffer through the
+// scratch-resident limited reader (same cap as http.MaxBytesReader, minus
+// its per-request allocation). The pre-size hint only trusts a
+// Content-Length that is itself within the cap.
+func (scr *stepScratch) readBody(r *http.Request) error {
 	scr.body.Reset()
 	if n := r.ContentLength; n > 0 && n <= maxStepBody {
 		scr.body.Grow(int(n))
 	}
-	_, err := scr.body.ReadFrom(http.MaxBytesReader(w, r.Body, maxStepBody))
+	scr.lim.R = r.Body
+	scr.lim.N = maxStepBody + 1
+	_, err := scr.body.ReadFrom(&scr.lim)
+	scr.lim.R = nil // never retain a request body in the pool
+	if err != nil {
+		return err
+	}
+	if scr.body.Len() > maxStepBody {
+		return fmt.Errorf("request body exceeds %d bytes", maxStepBody)
+	}
+	return nil
+}
+
+// decode reads one JSON value from the request body into v through the
+// scratch's persistent decoder — a json.Decoder is built for streams of
+// values, so successive request bodies decode on one decoder whose read
+// buffer, scanner and decode state all amortize to zero allocations. The
+// decoder is compromised whenever a body was malformed (sticky error
+// state) or carried trailing data (which would leak into the next
+// request's decode), so either condition rebuilds it on the next request.
+func (scr *stepScratch) decode(r *http.Request, v any) error {
+	scr.lim.R = r.Body
+	scr.lim.N = maxStepBody + 1
+	if scr.dec == nil {
+		scr.dec = json.NewDecoder(&scr.lim)
+	}
+	err := scr.dec.Decode(v)
+	if err != nil || scr.decTainted() {
+		scr.dec = nil
+	}
+	scr.lim.R = nil // never retain a request body in the pool
 	return err
+}
+
+// decTainted reports whether the decoder holds buffered bytes beyond the
+// decoded value that are not JSON whitespace. It inspects only the
+// decoder's in-memory buffer — a More() probe would Read the request
+// body and block forever on a streaming client that keeps the body open
+// while waiting for the response. Bytes the decoder never buffered
+// cannot poison the next request: they die with this request's body.
+func (scr *stepScratch) decTainted() bool {
+	br := scr.dec.Buffered()
+	var tmp [64]byte
+	for {
+		n, err := br.Read(tmp[:])
+		for _, c := range tmp[:n] {
+			switch c {
+			case ' ', '\t', '\r', '\n':
+			default:
+				return true
+			}
+		}
+		if err != nil {
+			return false
+		}
+	}
+}
+
+// writeJSON encodes v through the scratch's persistent encoder into the
+// pooled buffer (reset first — any request bytes in it are already
+// decoded) and writes the response in one shot.
+func (scr *stepScratch) writeJSON(w http.ResponseWriter, status int, v any) {
+	scr.body.Reset()
+	if scr.enc == nil {
+		scr.enc = json.NewEncoder(&scr.body)
+	}
+	if err := scr.enc.Encode(v); err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header()["Content-Type"] = contentTypeJSON
+	w.WriteHeader(status)
+	_, _ = w.Write(scr.body.Bytes())
 }
 
 // resetStep clears the step request through its full capacity before a
@@ -549,7 +634,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	scr := stepScratchPool.Get().(*stepScratch)
 	defer stepScratchPool.Put(scr)
 	scr.resetStep()
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxStepBody)).Decode(&scr.req); err != nil {
+	if err := scr.decode(r, &scr.req); err != nil {
 		s.mStepErrors.Inc()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
@@ -572,13 +657,13 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		scr.resp.Config = cfg
 	}
 	scr.resp.Step = sess.Steps()
-	writeJSON(w, http.StatusOK, &scr.resp)
+	scr.writeJSON(w, http.StatusOK, &scr.resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	scr := stepScratchPool.Get().(*stepScratch)
 	defer stepScratchPool.Put(scr)
-	if err := scr.readBody(w, r); err != nil {
+	if err := scr.readBody(r); err != nil {
 		s.mStepErrors.Inc()
 		writeError(w, http.StatusBadRequest, "reading request: %v", err)
 		return
@@ -594,7 +679,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	scr.bresp.Results = s.StepBatch(scr.batch.Entries, scr.bresp.Results[:0])
-	writeJSON(w, http.StatusOK, &scr.bresp)
+	scr.writeJSON(w, http.StatusOK, &scr.bresp)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -18,7 +18,6 @@ package workload
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 )
 
@@ -102,11 +101,21 @@ var parsecSpecs = []appSpec{
 }
 
 // seedFor derives a stable per-application seed from its name so suites are
-// reproducible regardless of generation order.
+// reproducible regardless of generation order. The FNV-1a fold is written
+// out (same constants, same result as hash/fnv) so per-trace generation —
+// which sits inside the Fig2/ablation hot loops — never boxes a hasher or
+// copies the name to a byte slice.
 func seedFor(name string, seed int64) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return int64(h.Sum64()>>1) ^ seed
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int64(h>>1) ^ seed
 }
 
 // generate builds the application for a spec using AR(1) phase noise, which

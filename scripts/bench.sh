@@ -4,7 +4,7 @@
 # is judged against a recorded baseline instead of a vibe.
 #
 # Usage:
-#   scripts/bench.sh [tag]                      # writes BENCH_<tag>.json (default PR4)
+#   scripts/bench.sh [tag]                      # writes BENCH_<tag>.json (default PR5)
 #   scripts/bench.sh -compare BENCH_PR3.json ci # also diff against a baseline snapshot
 #   scripts/bench.sh -compare-snapshots BENCH_PR4.json BENCH_ci.json  # diff two files, no run
 #   BENCHTIME=1x scripts/bench.sh ci            # CI smoke: one iteration per benchmark
@@ -14,6 +14,11 @@
 #   BENCH_PATTERN      -bench regexp (default: the whole suite, '.')
 #   BENCHTIME          -benchtime (default: 1s; use 1x for a smoke run)
 #   BENCH_REGRESS_PCT  -compare regression threshold in percent (default: 25)
+#   BENCH_GATE         which -compare regressions fail the run: "all"
+#                      (default) or "allocs" (only allocs/op gates; ns/op
+#                      deltas are still printed but advisory — the 1-CPU
+#                      bench machine has ±20% timing variance, while
+#                      allocs/op is deterministic)
 #
 # Each JSON record carries every metric go test printed for the benchmark:
 # ns/op, B/op, allocs/op, plus any ReportMetric extras (mape_pct, speedup_x,
@@ -32,11 +37,16 @@ cd "$(dirname "$0")/.."
 # separate steps without running the suite twice.
 compare_snapshots() {
   BENCH_REGRESS_PCT="${BENCH_REGRESS_PCT:-25}" \
+  BENCH_GATE="${BENCH_GATE:-all}" \
+  BENCH_PATTERN="${BENCH_PATTERN:-.}" \
   python3 - "$1" "$2" <<'PYEOF'
 import json, os, sys
 
 base_path, new_path = sys.argv[1], sys.argv[2]
 pct = float(os.environ.get("BENCH_REGRESS_PCT", "25"))
+gate = os.environ.get("BENCH_GATE", "all")
+pattern = os.environ.get("BENCH_PATTERN", ".")
+gated_keys = {"ns/op", "allocs/op"} if gate == "all" else {"allocs/op"}
 ALLOC_SLACK = 2  # absolute allocs/op slack on top of the percentage
 
 def load(path):
@@ -46,7 +56,7 @@ def load(path):
 
 base, new = load(base_path), load(new_path)
 regressions = []
-print(f"\n== bench compare vs {base_path} (threshold {pct:g}%) ==")
+print(f"\n== bench compare vs {base_path} (threshold {pct:g}%, gate: {gate}) ==")
 print(f"{'benchmark':44s} {'ns/op':>22s} {'allocs/op':>18s}")
 for name in sorted(new):
     if name not in base:
@@ -60,13 +70,20 @@ for name in sorted(new):
             continue
         delta = 0.0 if b == 0 else 100.0 * (n - b) / b
         row.append(f"{b:g} -> {n:g} ({delta:+.1f}%)")
-        if n > b * (1 + pct / 100.0) + slack:
+        if key in gated_keys and n > b * (1 + pct / 100.0) + slack:
             bad.append(f"{key} {b:g} -> {n:g}")
     print(f"{name:44s} {row[0]:>22s} {row[1] if len(row) > 1 else '':>18s}")
     if bad:
         regressions.append(f"{name}: " + ", ".join(bad))
-for name in sorted(set(base) - set(new)):
-    print(f"{name:44s} {'(removed)':>22s}")
+# Baseline entries absent from the new run: real deletions when the whole
+# suite ran, mere filter artifacts under a restricted BENCH_PATTERN (the
+# CI alloc gate runs a pinned subset against the full snapshot).
+missing = sorted(set(base) - set(new))
+if pattern in (".", ""):
+    for name in missing:
+        print(f"{name:44s} {'(removed)':>22s}")
+elif missing:
+    print(f"({len(missing)} baseline benchmarks outside BENCH_PATTERN, not run)")
 if regressions:
     print("\nREGRESSIONS past threshold:")
     for r in regressions:
@@ -92,7 +109,7 @@ while [ $# -gt 0 ]; do
     *) ARGS+=("$1"); shift ;;
   esac
 done
-TAG="${ARGS[0]:-PR4}"
+TAG="${ARGS[0]:-PR5}"
 PATTERN="${BENCH_PATTERN:-.}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="BENCH_${TAG}.json"
@@ -110,6 +127,9 @@ awk -v tag="$TAG" -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
 /^(goos|goarch|cpu):/ { split($0, kv, ": "); env[kv[1]] = kv[2]; next }
 /^Benchmark/ {
+  # Strip the GOMAXPROCS suffix (BenchmarkFoo-8) so snapshots written on
+  # multi-core runners compare against the suffix-free 1-CPU baselines.
+  sub(/-[0-9]+$/, "", $1)
   name[n] = $1
   iters[n] = $2
   m = ""
