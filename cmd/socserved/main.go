@@ -16,6 +16,8 @@
 //	DELETE /v1/sessions/{id}      close session
 //	POST   /admin/reload          hot-reload the policy file (also SIGHUP)
 //	GET    /metrics               Prometheus text metrics
+//	GET    /healthz               liveness probe
+//	GET    /readyz                readiness: policy loaded, training backlog ok
 //
 // -replay N switches to load-replay mode: the daemon starts, drives itself
 // with N synthetic clients from the workload traces, prints aggregate stats
@@ -50,6 +52,9 @@ func main() {
 	shards := flag.Int("shards", 0, "session-registry shard count, rounded up to a power of two (0 = sized from GOMAXPROCS)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060); empty = disabled")
 	online := flag.Bool("online", true, "warm-start online models at boot so sessions may use policy online-il")
+	trainWorkers := flag.Int("train-workers", 1, "background policy-training workers for online-il sessions; 0 = train synchronously inside the decide path")
+	trainQueue := flag.Int("train-queue", 0, "per-session experience queue capacity in samples, drop-oldest beyond it (0 = four aggregation buffers)")
+	crossBatch := flag.Int("cross-batch", 0, "cross-session samples mixed into each background retrain (0 = per-session experience only)")
 	replay := flag.Int("replay", 0, "load-replay mode: drive this many synthetic clients and exit")
 	replaySteps := flag.Int("replay-steps", 200, "steps per replay client")
 	replayBatch := flag.Int("replay-batch", 1, "telemetry records per replay step request")
@@ -76,6 +81,10 @@ func main() {
 	}
 	if *replayDirect && *replay == 0 {
 		fail("-replay-direct needs -replay")
+	}
+	if *trainWorkers < 0 || *trainQueue < 0 || *crossBatch < 0 {
+		fail("training flags must be non-negative (-train-workers %d -train-queue %d -cross-batch %d)",
+			*trainWorkers, *trainQueue, *crossBatch)
 	}
 
 	p := soc.NewXU3()
@@ -106,11 +115,14 @@ func main() {
 	}
 
 	opt := serve.Options{
-		Platform:    p,
-		Store:       store,
-		MaxSessions: *maxSessions,
-		Shards:      *shards,
-		SeedBase:    *seed,
+		Platform:     p,
+		Store:        store,
+		MaxSessions:  *maxSessions,
+		Shards:       *shards,
+		SeedBase:     *seed,
+		TrainWorkers: *trainWorkers,
+		TrainQueue:   *trainQueue,
+		CrossBatch:   *crossBatch,
 	}
 	if *online && store != nil {
 		t0 := time.Now()
@@ -118,6 +130,10 @@ func main() {
 		log.Printf("warm-started online models in %v", time.Since(t0).Round(time.Millisecond))
 	}
 	srv := serve.New(opt)
+	defer srv.Close()
+	if *trainWorkers > 0 {
+		log.Printf("async training: %d workers (cross-batch %d)", *trainWorkers, *crossBatch)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", *addr)

@@ -44,9 +44,34 @@ func TestDecideAllocFree(t *testing.T) {
 	if avg := testing.AllocsPerRun(300, func() { oil.Decide(st) }); avg != 0 {
 		t.Fatalf("Decide allocates %.1f objects per call, want 0", avg)
 	}
-	if oil.Updates() != 0 || len(oil.bufX) != 0 {
+	if oil.Updates() != 0 || oil.Trainer().Buffered() != 0 {
 		t.Fatalf("fixture aggregated samples (updates=%d, buffered=%d); the scenario must stay on the pure evaluation path",
-			oil.Updates(), len(oil.bufX))
+			oil.Updates(), oil.Trainer().Buffered())
+	}
+}
+
+// TestDecideAsyncAllocFree pins the ISSUE 6 contract on the detached
+// pipeline: an async-mode Decide that aggregates every call — into a queue
+// already saturated enough that drop-oldest backpressure is the steady
+// state — still allocates nothing and never trains inline. (The
+// synchronous scenario above deliberately avoids aggregation; this one
+// seeks it out, because in async mode aggregation is a fixed-size copy.)
+func TestDecideAsyncAllocFree(t *testing.T) {
+	oil := allocFixture(t)
+	tr := oil.AsyncMode(16)
+	st := findAggState(t, oil, tr)
+	for i := 0; i < 40; i++ {
+		oil.Decide(st)
+	}
+	if tr.Buffered() != 16 || tr.Dropped() == 0 {
+		t.Fatalf("queue not saturated (buffered=%d dropped=%d); the probe must measure the backpressure path",
+			tr.Buffered(), tr.Dropped())
+	}
+	if avg := testing.AllocsPerRun(300, func() { oil.Decide(st) }); avg != 0 {
+		t.Fatalf("async Decide allocates %.1f objects per call, want 0", avg)
+	}
+	if oil.Updates() != 0 {
+		t.Fatal("async Decide trained inline; training must only happen via Drain/TrainOn")
 	}
 }
 
@@ -82,7 +107,7 @@ func TestMLPPolicyPredictConfigAllocFree(t *testing.T) {
 	sn, cfg := allocState(oil.P)
 	st := stateFor(oil.P, sn, cfg)
 	feats := st.Features(oil.P)
-	if avg := testing.AllocsPerRun(500, func() { oil.Policy.PredictConfig(feats) }); avg != 0 {
+	if avg := testing.AllocsPerRun(500, func() { oil.Policy().PredictConfig(feats) }); avg != 0 {
 		t.Fatalf("MLPPolicy.PredictConfig allocates %.1f objects per call, want 0", avg)
 	}
 }

@@ -250,7 +250,7 @@ func TestOnlineILSeedDecorrelates(t *testing.T) {
 		t.Fatal("deployment never retrained the policy; the seed is untested")
 	}
 	raw := func(o *OnlineIL, x []float64) []float64 {
-		return o.Policy.Net.Predict(o.Policy.Scaler.Transform(x))
+		return o.Policy().Net.Predict(o.Policy().Scaler.Transform(x))
 	}
 	diverged := false
 	for i := range ds.X {

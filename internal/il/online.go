@@ -1,6 +1,8 @@
 package il
 
 import (
+	"sync/atomic"
+
 	"socrm/internal/control"
 	"socrm/internal/soc"
 )
@@ -10,12 +12,14 @@ import (
 // configurations in a local neighborhood of the current configuration with
 // the adaptive analytical models; the best candidate becomes (a) the
 // executed configuration and (b) the runtime approximation of the Oracle
-// that supervises the policy. Labeled states aggregate in a bounded buffer
-// and the neural policy is re-trained with back-propagation each time the
-// buffer fills, exactly as the paper describes.
+// that supervises the policy. Labeled states aggregate through a Trainer:
+// synchronously (the paper's pipeline — the neural policy is re-trained
+// with back-propagation each time the buffer fills, inline in Decide) or
+// asynchronously (AsyncMode — samples queue for a background worker and the
+// retrained policy is published by atomic snapshot swap, so Decide never
+// blocks on training).
 type OnlineIL struct {
 	P      *soc.Platform
-	Policy *MLPPolicy
 	Models *OnlineModels
 
 	// Radius of the candidate neighborhood in knob space.
@@ -36,22 +40,26 @@ type OnlineIL struct {
 	// the historical single-learner behaviour.
 	Seed int64
 
-	bufX, bufY [][]float64
-	decisions  int
-	updates    int
+	// pol is the policy snapshot the decide path reads. Synchronous mode
+	// trains it in place (single-goroutine contract, as always); async mode
+	// treats the loaded snapshot as immutable and swaps in freshly trained
+	// clones, so a concurrent Decide either sees the old policy or the new
+	// one, never a half-trained network.
+	pol     atomic.Pointer[MLPPolicy]
+	trainer Trainer
+
+	decisions int
 
 	// Decision-path scratch, reused across calls so a steady-state Decide
-	// allocates nothing: the state feature vector, the candidate list, and
-	// the per-decision model evaluator. An OnlineIL was never
-	// goroutine-safe (Decide trains the policy); this makes the contract
-	// load-bearing.
+	// allocates nothing: the state feature vector, the aggregation label,
+	// the candidate list, and the per-decision model evaluator. Decide was
+	// never safe to call from two goroutines; this keeps that contract
+	// load-bearing (async mode only moves training off the decide
+	// goroutine, not decisions themselves).
 	featBuf []float64
+	labBuf  []float64
 	cands   []soc.Config
 	ev      *Evaluator
-	// txX is the standardized-features scratch of trainPolicy, reused so a
-	// retrain does not re-derive its input matrix storage every buffer
-	// fill (rows keep their capacity across updates).
-	txX [][]float64
 }
 
 // DefaultSeed is the historical training seed of a fresh OnlineIL. All
@@ -69,9 +77,8 @@ func NewOnlineIL(p *soc.Platform, policy *MLPPolicy, models *OnlineModels) *Onli
 // processes hosting many concurrent learners (e.g. one per served session)
 // that must not be correlated.
 func NewOnlineILSeeded(p *soc.Platform, policy *MLPPolicy, models *OnlineModels, seed int64) *OnlineIL {
-	return &OnlineIL{
+	o := &OnlineIL{
 		P:         p,
-		Policy:    policy,
 		Models:    models,
 		Radius:    3,
 		BufferCap: 8,
@@ -81,23 +88,39 @@ func NewOnlineILSeeded(p *soc.Platform, policy *MLPPolicy, models *OnlineModels,
 		Warmup:    2,
 		Seed:      seed,
 	}
+	o.pol.Store(policy)
+	o.trainer = &syncTrainer{o: o}
+	return o
 }
 
 // Name implements control.Decider.
 func (o *OnlineIL) Name() string { return "online-il" }
 
+// Policy returns the current policy snapshot. In async mode successive
+// calls may return different snapshots as background retrains publish.
+func (o *OnlineIL) Policy() *MLPPolicy { return o.pol.Load() }
+
+// SwapPolicy atomically publishes a new policy snapshot for the decide
+// path. The previous snapshot keeps serving any in-flight decision.
+func (o *OnlineIL) SwapPolicy(p *MLPPolicy) { o.pol.Store(p) }
+
+// Trainer returns the learner's training side.
+func (o *OnlineIL) Trainer() Trainer { return o.trainer }
+
 // PolicyConfig returns what the policy alone would choose — the quantity
 // whose agreement with the Oracle Figure 3 tracks over time.
 func (o *OnlineIL) PolicyConfig(st control.State) soc.Config {
 	o.featBuf = st.AppendFeatures(o.featBuf[:0], o.P)
-	return o.Policy.PredictConfig(o.featBuf)
+	return o.pol.Load().PredictConfig(o.featBuf)
 }
 
 // Decide implements control.Decider: model-guided candidate selection plus
 // DAgger-style data aggregation. Steady-state decisions are allocation-free:
 // candidates, feature vectors and model scratch are all reused buffers, and
 // the evaluator memoizes the per-frequency-pair CPI predictions across the
-// candidate sweep.
+// candidate sweep. Training happens through the Trainer — inline for the
+// synchronous default, on a background worker in async mode — so this path
+// itself never grows a latency tail beyond the candidate sweep.
 func (o *OnlineIL) Decide(st control.State) soc.Config {
 	o.decisions++
 	polCfg := o.PolicyConfig(st)
@@ -126,22 +149,16 @@ func (o *OnlineIL) Decide(st control.State) soc.Config {
 		}
 	}
 
-	// Aggregate the model-labeled sample; retrain when the buffer fills.
-	// Transitional decisions — where the candidate argmin sits on the
-	// neighborhood boundary, meaning the true optimum is still outside the
-	// search radius — would teach the policy way-points rather than
-	// destinations, so they are not aggregated. Buffer rows truncated by a
-	// previous retrain keep their storage and are refilled in place.
+	// Aggregate the model-labeled sample through the trainer (which
+	// retrains when a buffer's worth has accumulated — inline or in the
+	// background depending on the mode). Transitional decisions — where
+	// the candidate argmin sits on the neighborhood boundary, meaning the
+	// true optimum is still outside the search radius — would teach the
+	// policy way-points rather than destinations, so they are not
+	// aggregated. featBuf still holds st's features from PolicyConfig.
 	if o.interior(st.Config, best) {
-		o.bufX = growRow(o.bufX)
-		o.bufX[len(o.bufX)-1] = st.AppendFeatures(o.bufX[len(o.bufX)-1][:0], o.P)
-		o.bufY = growRow(o.bufY)
-		o.bufY[len(o.bufY)-1] = o.P.AppendFeatures(o.bufY[len(o.bufY)-1][:0], best)
-	}
-	if len(o.bufX) >= o.BufferCap {
-		o.trainPolicy()
-		o.bufX = o.bufX[:0]
-		o.bufY = o.bufY[:0]
+		o.labBuf = o.P.AppendFeatures(o.labBuf[:0], best)
+		o.trainer.Ingest(o.featBuf, o.labBuf)
 	}
 
 	if o.decisions <= o.Warmup {
@@ -177,23 +194,8 @@ func (o *OnlineIL) interior(cur, best soc.Config) bool {
 		in(cur.NBig, best.NBig, soc.MinNBig, soc.MaxNBig)
 }
 
-func (o *OnlineIL) trainPolicy() {
-	for len(o.txX) < len(o.bufX) {
-		o.txX = growRow(o.txX)
-	}
-	o.txX = o.txX[:len(o.bufX)]
-	for i, row := range o.bufX {
-		if cap(o.txX[i]) < len(row) {
-			o.txX[i] = make([]float64, len(row))
-		}
-		o.txX[i] = o.Policy.Scaler.TransformInto(o.txX[i][:len(row)], row)
-	}
-	o.updates++
-	o.Policy.Net.TrainEpochs(o.txX, o.bufY, o.Epochs, o.LR, o.Momentum, o.Seed+int64(o.updates))
-}
-
 // Updates returns how many incremental policy updates have happened.
-func (o *OnlineIL) Updates() int { return o.updates }
+func (o *OnlineIL) Updates() int { return o.trainer.Updates() }
 
 // BufferBytes reports the storage footprint of a full aggregation buffer
 // (the paper's "<20 KB" figure): float64 features plus labels per slot.
@@ -202,7 +204,9 @@ func (o *OnlineIL) BufferBytes() int {
 }
 
 // Observe implements control.Observer: every executed snippet updates the
-// analytical models with its measured counters and power.
+// analytical models with its measured counters and power. Model updates are
+// cheap RLS rank-one steps that the very next decision's candidate sweep
+// needs, so they stay on the decide path in both modes.
 func (o *OnlineIL) Observe(_ control.State, _ soc.Config, _ soc.Result, next control.State) {
 	o.Models.Update(next)
 }

@@ -1,0 +1,219 @@
+package il
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"socrm/internal/control"
+	"socrm/internal/oracle"
+	"socrm/internal/soc"
+	"socrm/internal/workload"
+)
+
+// trainerFixture builds a deployable online learner (trained policy plus
+// warm models) for the async-pipeline tests.
+func trainerFixture(t *testing.T) *OnlineIL {
+	t.Helper()
+	p := soc.NewXU3()
+	ds := BuildDataset(p, oracle.New(p, oracle.Energy), shortApps(10))
+	pol, err := TrainMLPPolicy(p, ds, DefaultMLPOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := NewOnlineModels(p)
+	models.WarmStart(append(shortApps(10), workload.Calibration()), WarmStartConfigs(p))
+	return NewOnlineIL(p, pol, models)
+}
+
+// findAggState drives real workload traces through the learner until a
+// decision aggregates a sample (the candidate argmin is interior), then
+// returns that state with the queue drained. Because the online models are
+// left untouched afterwards, re-deciding the returned state aggregates
+// again every time — a deterministic ingest scenario for the tests below.
+func findAggState(t *testing.T, oil *OnlineIL, tr *AsyncTrainer) control.State {
+	t.Helper()
+	p := oil.P
+	for _, app := range shortApps(6) {
+		cfg := p.Clamp(soc.Config{LittleFreqIdx: 4, BigFreqIdx: 6, NLittle: 4, NBig: 2})
+		for _, sn := range app.Snippets {
+			st := stateFor(p, sn, cfg)
+			before := tr.Buffered()
+			next := p.Clamp(oil.Decide(st))
+			if tr.Buffered() > before {
+				tr.Drain()
+				return st
+			}
+			oil.Models.Update(st)
+			cfg = next
+		}
+	}
+	t.Fatal("no aggregating state found; the probe set needs widening")
+	return control.State{}
+}
+
+// TestAsyncIngestDropOldest pins the backpressure contract of the
+// experience queue: bounded, drop-oldest, counted, never blocking.
+func TestAsyncIngestDropOldest(t *testing.T) {
+	p := soc.NewXU3()
+	oil := NewOnlineIL(p, &MLPPolicy{P: p}, NewOnlineModels(p))
+	tr := oil.AsyncMode(4)
+	x := make([]float64, control.NumFeatures)
+	y := make([]float64, soc.NumConfigFeatures)
+	for i := 0; i < 10; i++ {
+		x[0], y[0] = float64(i), float64(100+i)
+		tr.Ingest(x, y)
+	}
+	if tr.Buffered() != 4 {
+		t.Fatalf("Buffered() = %d after overfilling a 4-slot queue, want 4", tr.Buffered())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	batch := tr.Drain()
+	if len(batch) != 4 {
+		t.Fatalf("Drain() returned %d samples, want 4", len(batch))
+	}
+	for j, s := range batch {
+		if want := float64(6 + j); s.X[0] != want || s.Y[0] != 100+want {
+			t.Fatalf("slot %d holds sample %v/%v, want the 4 newest in order (x=%v)", j, s.X[0], s.Y[0], want)
+		}
+	}
+	if tr.Buffered() != 0 {
+		t.Fatalf("Buffered() = %d after Drain, want 0", tr.Buffered())
+	}
+	if d := tr.TakeDropped(); d != 6 {
+		t.Fatalf("TakeDropped() = %d, want 6", d)
+	}
+	if d := tr.TakeDropped(); d != 0 {
+		t.Fatalf("TakeDropped() did not reset the counter (second take = %d)", d)
+	}
+}
+
+// TestAsyncModeDefaults pins the default queue sizing (four aggregation
+// buffers) and that AsyncMode rebinds the learner's trainer.
+func TestAsyncModeDefaults(t *testing.T) {
+	p := soc.NewXU3()
+	oil := NewOnlineIL(p, &MLPPolicy{P: p}, NewOnlineModels(p))
+	if _, isSync := oil.Trainer().(*syncTrainer); !isSync {
+		t.Fatalf("fresh learner trainer is %T, want the synchronous default", oil.Trainer())
+	}
+	tr := oil.AsyncMode(0)
+	if oil.Trainer() != Trainer(tr) {
+		t.Fatal("AsyncMode did not rebind the learner's trainer")
+	}
+	if len(tr.ring) != 4*oil.BufferCap {
+		t.Fatalf("default queue capacity = %d, want %d", len(tr.ring), 4*oil.BufferCap)
+	}
+	if tr.Ready() {
+		t.Fatal("empty trainer reports Ready")
+	}
+}
+
+// TestAsyncNeverTrainsInline is the tentpole's core contract: in async
+// mode, Decide only queues — however full the buffer gets, no policy
+// update happens on the decide path, and the snapshot only changes when a
+// worker publishes one via Drain/TrainOn.
+func TestAsyncNeverTrainsInline(t *testing.T) {
+	oil := trainerFixture(t)
+	tr := oil.AsyncMode(0)
+	st := findAggState(t, oil, tr)
+	for i := 0; i < 3*oil.BufferCap && !tr.Ready(); i++ {
+		oil.Decide(st)
+	}
+	if !tr.Ready() {
+		t.Fatal("aggregating state stopped aggregating; fixture broken")
+	}
+	if oil.Updates() != 0 {
+		t.Fatalf("decide path performed %d policy updates in async mode, want 0", oil.Updates())
+	}
+	pol0 := oil.Policy()
+	tr.TrainOn(tr.Drain(), nil)
+	if oil.Policy() == pol0 {
+		t.Fatal("TrainOn did not publish a new policy snapshot")
+	}
+	if oil.Updates() != 1 {
+		t.Fatalf("Updates() = %d after one background retrain, want 1", oil.Updates())
+	}
+	// The retired snapshot must be untouched (copy-on-write, not in-place):
+	// a decide that loaded it mid-swap would otherwise see torn weights.
+	x := st.Features(oil.P)
+	if pol0.PredictConfig(x) != pol0.PredictConfig(x) {
+		t.Fatal("retired snapshot is unstable")
+	}
+	if oil.Policy() == pol0 {
+		t.Fatal("snapshot still aliased after retrain")
+	}
+	oil.Decide(st) // the decide path keeps working against the new snapshot
+}
+
+// TestAsyncCrossSessionExtras checks that TrainOn folds cross-session
+// samples into the update: training on extras alone must still move the
+// published policy.
+func TestAsyncCrossSessionExtras(t *testing.T) {
+	oil := trainerFixture(t)
+	tr := oil.AsyncMode(0)
+	st := findAggState(t, oil, tr)
+	oil.Decide(st)
+	own := tr.Drain()
+	if len(own) == 0 {
+		t.Fatal("probe state did not aggregate")
+	}
+	extras := make([]Sample, 4)
+	for i := range extras {
+		extras[i] = own[0]
+	}
+	pol0 := oil.Policy()
+	tr.TrainOn(nil, extras)
+	if oil.Policy() == pol0 || oil.Updates() != 1 {
+		t.Fatalf("extras-only retrain did not publish (updates=%d)", oil.Updates())
+	}
+	tr.TrainOn(nil, nil)
+	if oil.Updates() != 1 {
+		t.Fatal("empty retrain must be a no-op")
+	}
+}
+
+// TestAsyncDecideConcurrentWithTraining is the -race soak for the snapshot
+// swap: one goroutine decides continuously while another drains and
+// retrains, so the detector checks the immutability argument — Clone reads
+// only weights, Predict writes only per-snapshot scratch, and the atomic
+// pointer publishes the handoff.
+func TestAsyncDecideConcurrentWithTraining(t *testing.T) {
+	oil := trainerFixture(t)
+	tr := oil.AsyncMode(64)
+	st := findAggState(t, oil, tr)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if tr.Ready() {
+				tr.TrainOn(tr.Drain(), nil)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	decides := 1200
+	if testing.Short() {
+		decides = 200
+	}
+	for i := 0; i < decides; i++ {
+		oil.Decide(st)
+	}
+	close(stop)
+	wg.Wait()
+	if tr.Updates() == 0 {
+		t.Fatal("background trainer never swapped a policy mid-flight; the soak proved nothing")
+	}
+	if tr.Buffered() > 0 {
+		tr.TrainOn(tr.Drain(), nil)
+	}
+}

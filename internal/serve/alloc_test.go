@@ -95,9 +95,41 @@ func TestHTTPStepAllocFree(t *testing.T) {
 	}
 }
 
+// TestHTTPBatchAllocFree pins the JSON fleet-tick endpoint (ISSUE 6
+// satellite: the path sat at ~25 allocs/request after PR 5, one string per
+// entry session id plus json.Unmarshal overhead). SessionRef decodes ids
+// as aliases of the decoder buffer and results carry interned ids plus
+// enum status codes, so a multi-entry tick must stay allocation-free with
+// the same small slack as the single-step path.
+func TestHTTPBatchAllocFree(t *testing.T) {
+	srv, id, tel := stepFixture(t)
+	h := srv.Handler()
+	var breq BatchRequest
+	for i := 0; i < 4; i++ {
+		breq.Entries = append(breq.Entries, BatchEntry{
+			Session: SessionRef(id),
+			Steps:   []StepTelemetry{tel, tel, tel, tel},
+		})
+	}
+	body, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/step/batch", nil)
+	rb := &replayBody{}
+	w := &sinkWriter{}
+	if avg := testing.AllocsPerRun(500, func() {
+		rb.r.Reset(body)
+		req.Body = rb
+		h.ServeHTTP(w, req)
+	}); avg > 4 {
+		t.Fatalf("HTTP batch step allocates %.1f objects per request, want <= 4", avg)
+	}
+}
+
 func TestDirectStepBatchAllocFree(t *testing.T) {
 	srv, id, tel := stepFixture(t)
-	entries := []BatchEntry{{Session: id, Steps: []StepTelemetry{tel, tel, tel, tel}}}
+	entries := []BatchEntry{{Session: SessionRef(id), Steps: []StepTelemetry{tel, tel, tel, tel}}}
 	var results []BatchResult
 	results = srv.StepBatch(entries, results[:0])
 	if results[0].Error != "" {

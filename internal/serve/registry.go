@@ -80,6 +80,27 @@ func (r *registry) get(id string) *Session {
 	return s
 }
 
+// getBytes is get for an id borrowed from a request buffer. The
+// string conversion sits directly in the map index expression, which the
+// compiler compiles without copying the bytes — the batch step path
+// resolves sessions with zero allocations.
+func (r *registry) getBytes(id []byte) *Session {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	sh := &r.shards[h&r.mask]
+	sh.mu.RLock()
+	s := sh.m[string(id)]
+	sh.mu.RUnlock()
+	return s
+}
+
 // insert adds a session, enforcing the global limit with an optimistic
 // reserve-then-publish on the atomic count so the cap needs no global lock.
 // It reports false when the table is full.

@@ -244,7 +244,7 @@ func TestBatchStepEndpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := p.Clamp(created.Start)
-		entry := BatchEntry{Session: created.ID}
+		entry := BatchEntry{Session: SessionRef(created.ID)}
 		for k := 0; k < 4; k++ {
 			res := p.Execute(app.Snippets[k], cfg)
 			entry.Steps = append(entry.Steps, StepTelemetry{
@@ -253,7 +253,7 @@ func TestBatchStepEndpoint(t *testing.T) {
 		}
 		req.Entries = append(req.Entries, entry)
 	}
-	req.Entries = append(req.Entries, BatchEntry{Session: "s-missing", Steps: req.Entries[0].Steps})
+	req.Entries = append(req.Entries, BatchEntry{Session: SessionRef("s-missing"), Steps: req.Entries[0].Steps})
 
 	var resp BatchResponse
 	if err := call(hc, "POST", ts.URL+"/v1/step/batch", req, &resp); err != nil {
@@ -298,12 +298,12 @@ func TestStepBatchReusesResults(t *testing.T) {
 	}
 	cfg := p.Clamp(created.Start)
 	mkEntries := func() []BatchEntry {
-		e := BatchEntry{Session: created.ID}
+		e := BatchEntry{Session: SessionRef(created.ID)}
 		for k := 0; k < 3; k++ {
 			res := p.Execute(app.Snippets[k], cfg)
 			e.Steps = append(e.Steps, StepTelemetry{Counters: res.Counters, Config: cfg, Threads: 1})
 		}
-		return []BatchEntry{e, {Session: "s-nope"}}
+		return []BatchEntry{e, {Session: SessionRef("s-nope")}}
 	}
 	results := srv.StepBatch(mkEntries(), nil)
 	if len(results) != 2 || len(results[0].Configs) != 3 || results[1].Error == "" {

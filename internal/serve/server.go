@@ -39,6 +39,22 @@ type Options struct {
 	// SeedBase decorrelates per-session learners: session n trains with
 	// seed SeedBase+n unless the create request carries an explicit seed.
 	SeedBase int64
+	// TrainWorkers > 0 moves online-IL policy training off the decide path
+	// onto this many background workers (experience queues + atomic policy
+	// snapshot swap). 0 keeps the historical fully synchronous pipeline:
+	// the learner retrains inline in Decide, bit-identical to the
+	// experiment loops.
+	TrainWorkers int
+	// TrainQueue bounds each async session's experience queue in samples;
+	// beyond it the oldest queued sample is dropped (counted, never
+	// blocking the step path). 0 selects four aggregation buffers' worth.
+	TrainQueue int
+	// CrossBatch mixes up to this many recent samples from other sessions
+	// into each background retrain — fleet-wide experience sharing. 0
+	// keeps every learner trained on its own experience only (the
+	// per-session semantics of synchronous mode). Only meaningful with
+	// TrainWorkers > 0.
+	CrossBatch int
 }
 
 // Server is the governor-as-a-service HTTP daemon state.
@@ -51,6 +67,10 @@ type Server struct {
 
 	sessions *registry
 	nextID   atomic.Int64
+
+	// trainers is the background training pool; nil in synchronous mode.
+	trainers   *trainerPool
+	trainQueue int
 
 	reg             *metrics.Registry
 	mSessionsActive *metrics.Gauge
@@ -73,7 +93,7 @@ func New(opt Options) *Server {
 		opt.MaxSessions = 1024
 	}
 	reg := metrics.NewRegistry()
-	return &Server{
+	srv := &Server{
 		p:           opt.Platform,
 		store:       opt.Store,
 		models:      opt.Models,
@@ -99,6 +119,26 @@ func New(opt Options) *Server {
 			"Client-reported energy accounted across all steps."),
 		mLatency: reg.Histogram("socserved_decide_latency_seconds",
 			"Per-decision latency of the policy step path."),
+	}
+	if opt.TrainWorkers > 0 {
+		// The pool queue holds sessions awaiting a retrain; a quarter of
+		// the session cap queued means training is drowning, which is
+		// exactly what /readyz and the deferred counter surface.
+		queueCap := opt.MaxSessions / 4
+		if queueCap < 16 {
+			queueCap = 16
+		}
+		srv.trainQueue = opt.TrainQueue
+		srv.trainers = newTrainerPool(opt.TrainWorkers, queueCap, opt.CrossBatch, reg)
+	}
+	return srv
+}
+
+// Close stops the background training workers (a no-op in synchronous
+// mode). Sessions stay usable; their training just no longer drains.
+func (s *Server) Close() {
+	if s.trainers != nil {
+		s.trainers.close()
 	}
 }
 
@@ -150,46 +190,53 @@ func statusOf(err error) int {
 // hot path), so every session — offline or online — gets its own clone;
 // the tree policy is stateless at inference time and stays shared. The
 // online learner additionally clones the models so its training never
-// touches another session.
-func (s *Server) newDecider(policy string, seed int64) (control.Decider, error) {
+// touches another session. When the server runs a trainer pool, online
+// learners come up in async mode and the returned AsyncTrainer is the
+// queue the pool drains for this session (nil for every other policy and
+// in synchronous mode).
+func (s *Server) newDecider(policy string, seed int64) (control.Decider, *il.AsyncTrainer, error) {
 	switch policy {
 	case PolicyOfflineIL:
 		if s.store == nil {
-			return nil, fmt.Errorf("policy %q needs a policy file (-policy-file)", policy)
+			return nil, nil, fmt.Errorf("policy %q needs a policy file (-policy-file)", policy)
 		}
 		pol, err := s.store.MLP()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &il.OfflineDecider{P: s.p, Policy: pol.Clone()}, nil
+		return &il.OfflineDecider{P: s.p, Policy: pol.Clone()}, nil, nil
 	case PolicyOfflineTree:
 		if s.store == nil {
-			return nil, fmt.Errorf("policy %q needs a policy file (-policy-file)", policy)
+			return nil, nil, fmt.Errorf("policy %q needs a policy file (-policy-file)", policy)
 		}
 		pol, err := s.store.Tree()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &il.OfflineDecider{P: s.p, Policy: pol}, nil
+		return &il.OfflineDecider{P: s.p, Policy: pol}, nil, nil
 	case PolicyOnlineIL:
 		if s.store == nil || s.models == nil {
-			return nil, fmt.Errorf("policy %q needs a policy file and warm online models", policy)
+			return nil, nil, fmt.Errorf("policy %q needs a policy file and warm online models", policy)
 		}
 		pol, err := s.store.MLP()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return il.NewOnlineILSeeded(s.p, pol.Clone(), s.models.Clone(), seed), nil
+		oil := il.NewOnlineILSeeded(s.p, pol.Clone(), s.models.Clone(), seed)
+		if s.trainers != nil {
+			return oil, oil.AsyncMode(s.trainQueue), nil
+		}
+		return oil, nil, nil
 	case "ondemand":
-		return governor.NewOndemand(s.p), nil
+		return governor.NewOndemand(s.p), nil, nil
 	case "interactive":
-		return governor.NewInteractive(s.p), nil
+		return governor.NewInteractive(s.p), nil, nil
 	case "performance":
-		return governor.Performance{P: s.p}, nil
+		return governor.Performance{P: s.p}, nil, nil
 	case "powersave":
-		return governor.Powersave{P: s.p}, nil
+		return governor.Powersave{P: s.p}, nil, nil
 	}
-	return nil, fmt.Errorf("unknown policy %q", policy)
+	return nil, nil, fmt.Errorf("unknown policy %q", policy)
 }
 
 // defaultStart is the neutral boot configuration handed to new sessions.
@@ -226,11 +273,11 @@ func (s *Server) CreateSession(req CreateRequest) (CreateResponse, error) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	dec, err := s.newDecider(req.Policy, seed)
+	dec, trainer, err := s.newDecider(req.Policy, seed)
 	if err != nil {
 		return CreateResponse{}, apiErrorf(http.StatusBadRequest, "%v", err)
 	}
-	sess := &Session{ID: "s-" + strconv.FormatInt(id, 10), Policy: req.Policy, dec: dec}
+	sess := &Session{ID: "s-" + strconv.FormatInt(id, 10), Policy: req.Policy, dec: dec, trainer: trainer}
 	sess.lastCfg = s.defaultStart()
 	if !s.sessions.insert(sess) {
 		return CreateResponse{}, apiErrorf(http.StatusServiceUnavailable,
@@ -253,6 +300,7 @@ func (s *Server) stepSession(sess *Session, t *StepTelemetry) (soc.Config, error
 	s.mLatency.Observe(time.Since(start).Seconds())
 	s.mSteps.Inc()
 	s.mEnergy.Add(t.EnergyJ)
+	s.maybeScheduleTraining(sess)
 	return cfg, nil
 }
 
@@ -329,19 +377,25 @@ func (s *Server) StepBatch(entries []BatchEntry, results []BatchResult) []BatchR
 		e := &entries[i]
 		results = growResults(results)
 		res := &results[len(results)-1]
-		res.Session = e.Session
 		res.Configs = res.Configs[:0]
 		res.Step = 0
+		res.Status = StepOK
 		res.Error = ""
-		sess := s.sessions.get(e.Session)
+		sess := s.sessions.getBytes(e.Session)
 		if sess == nil {
 			s.mStepErrors.Inc()
-			res.Error = fmt.Sprintf("no session %q", e.Session)
+			res.Session = string(e.Session)
+			res.Status = StepNoSession
+			res.Error = StepNoSession.Text()
 			continue
 		}
+		// The canonical interned id, not a fresh copy of the request bytes:
+		// the found path of a fleet tick allocates no strings at all.
+		res.Session = sess.ID
 		configs, err := s.stepEach(sess, e.Steps, res.Configs)
 		res.Configs = configs
 		if err != nil {
+			res.Status = StepRejected
 			res.Error = err.Error()
 		}
 		res.Step = sess.Steps()
@@ -365,6 +419,11 @@ func (s *Server) CloseSession(id string) (SessionInfo, error) {
 		return SessionInfo{}, apiErrorf(http.StatusNotFound, "no session %q", id)
 	}
 	sess.close()
+	if s.trainers != nil && sess.trainer != nil {
+		// Account drops the trainer pool will never observe now that no
+		// worker will drain this session again.
+		s.trainers.mDropped.Add(float64(sess.trainer.TakeDropped()))
+	}
 	s.mSessionsClosed.Inc()
 	s.mSessionsActive.Add(-1)
 	return sess.info(), nil
@@ -394,7 +453,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady is the load-balancer readiness probe: liveness (/healthz)
+// says the process responds, readiness says it can usefully take traffic —
+// a persisted policy is loaded (when one is configured) and background
+// training is not drowning in backlog.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.store != nil && s.store.Generation() == 0 {
+		http.Error(w, "policy not loaded", http.StatusServiceUnavailable)
+		return
+	}
+	if s.trainers != nil && s.trainers.backlogged() {
+		http.Error(w, "training backlog", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -451,9 +527,39 @@ type StepResponse struct {
 	Step    uint64       `json:"step"`
 }
 
+// SessionRef is a session id inside a batch request. It decodes from a
+// JSON string without allocating: when the encoded id carries no escape
+// sequences (every id this server issues), the bytes alias the pooled
+// request buffer, which outlives every use within the request — that alias
+// is what removes the per-entry string allocations from the batch hot
+// path. Direct callers construct it with SessionRef("s-1").
+type SessionRef []byte
+
+// UnmarshalJSON implements json.Unmarshaler with the zero-copy fast path.
+func (r *SessionRef) UnmarshalJSON(data []byte) error {
+	if len(data) >= 2 && data[0] == '"' && data[len(data)-1] == '"' {
+		body := data[1 : len(data)-1]
+		if bytes.IndexByte(body, '\\') < 0 {
+			*r = body
+			return nil
+		}
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("session id: %w", err)
+	}
+	*r = SessionRef(s)
+	return nil
+}
+
+// MarshalJSON round-trips the id as a JSON string.
+func (r SessionRef) MarshalJSON() ([]byte, error) { return json.Marshal(string(r)) }
+
+func (r SessionRef) String() string { return string(r) }
+
 // BatchEntry addresses one session inside POST /v1/step/batch.
 type BatchEntry struct {
-	Session string          `json:"session"`
+	Session SessionRef      `json:"session"`
 	Steps   []StepTelemetry `json:"steps"`
 }
 
@@ -464,12 +570,44 @@ type BatchRequest struct {
 	Entries []BatchEntry `json:"entries"`
 }
 
-// BatchResult is one entry's outcome; Error is set in-band so one dead
-// session cannot fail a whole fleet tick.
+// StepStatus codes one batch entry's outcome. The enum (with its
+// preallocated text) replaces the per-entry formatted error strings the
+// batch encode path used to build, so a fleet tick's response costs no
+// string allocations; an absent/zero status means the entry stepped.
+type StepStatus uint8
+
+const (
+	// StepOK: every step of the entry decided.
+	StepOK StepStatus = iota
+	// StepNoSession: the referenced session does not exist.
+	StepNoSession
+	// StepRejected: the session exists but a step failed (closed session,
+	// empty telemetry); steps before the failure still decided.
+	StepRejected
+)
+
+// stepStatusText is the preallocated wire text per status.
+var stepStatusText = [...]string{
+	StepOK:        "",
+	StepNoSession: "no session",
+	StepRejected:  "step rejected",
+}
+
+// Text returns the constant human-readable label for the status.
+func (st StepStatus) Text() string {
+	if int(st) < len(stepStatusText) {
+		return stepStatusText[st]
+	}
+	return "unknown status"
+}
+
+// BatchResult is one entry's outcome; Status (and its constant Error text)
+// is set in-band so one dead session cannot fail a whole fleet tick.
 type BatchResult struct {
 	Session string       `json:"session"`
 	Configs []soc.Config `json:"configs,omitempty"`
 	Step    uint64       `json:"step,omitempty"`
+	Status  StepStatus   `json:"status,omitempty"`
 	Error   string       `json:"error,omitempty"`
 }
 
@@ -480,15 +618,14 @@ type BatchResponse struct {
 
 // stepScratch is the pooled per-request workspace of the step endpoints:
 // the decoded requests (whose Steps/Entries backing arrays — including the
-// nested per-entry Steps storage — json.Unmarshal reuses) and the
-// responses with their Configs/Results storage. Pooling it keeps the
-// per-step JSON path allocation-minimal without any per-session state in
-// the HTTP layer. Single steps decode on a persistent json.Decoder (see
-// decode); batch bodies run tens of kilobytes and go through the pooled
-// read buffer plus json.Unmarshal. The buffer doubles as the response
-// encode target (the decoded structs never alias the request bytes —
-// telemetry is all numbers and Unmarshal copies strings), with a
-// persistent Encoder bound to it.
+// nested per-entry Steps storage — the decoder reuses) and the responses
+// with their Configs/Results storage. Pooling it keeps the per-step JSON
+// path allocation-free without any per-session state in the HTTP layer.
+// Both single steps and batches decode on a persistent json.Decoder (see
+// decode), whose internal read buffer amortizes across requests; batch
+// session ids (SessionRef) alias that buffer, which stays untouched until
+// the next request's decode. The body buffer is the response encode
+// target, with a persistent Encoder bound to it.
 type stepScratch struct {
 	req   StepRequest
 	body  bytes.Buffer
@@ -512,28 +649,6 @@ var contentTypeJSON = []string{"application/json"}
 // or hostile client, and the pre-sized read buffer below must never trust
 // an attacker-controlled Content-Length into a giant allocation.
 const maxStepBody = 8 << 20
-
-// readBody drains the request body into the reused buffer through the
-// scratch-resident limited reader (same cap as http.MaxBytesReader, minus
-// its per-request allocation). The pre-size hint only trusts a
-// Content-Length that is itself within the cap.
-func (scr *stepScratch) readBody(r *http.Request) error {
-	scr.body.Reset()
-	if n := r.ContentLength; n > 0 && n <= maxStepBody {
-		scr.body.Grow(int(n))
-	}
-	scr.lim.R = r.Body
-	scr.lim.N = maxStepBody + 1
-	_, err := scr.body.ReadFrom(&scr.lim)
-	scr.lim.R = nil // never retain a request body in the pool
-	if err != nil {
-		return err
-	}
-	if scr.body.Len() > maxStepBody {
-		return fmt.Errorf("request body exceeds %d bytes", maxStepBody)
-	}
-	return nil
-}
 
 // decode reads one JSON value from the request body into v through the
 // scratch's persistent decoder — a json.Decoder is built for streams of
@@ -615,7 +730,7 @@ func (scr *stepScratch) resetBatch() {
 	entries := scr.batch.Entries[:cap(scr.batch.Entries)]
 	for i := range entries {
 		e := &entries[i]
-		e.Session = ""
+		e.Session = nil
 		steps := e.Steps[:cap(e.Steps)]
 		clear(steps)
 		e.Steps = steps[:0]
@@ -663,13 +778,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	scr := stepScratchPool.Get().(*stepScratch)
 	defer stepScratchPool.Put(scr)
-	if err := scr.readBody(r); err != nil {
-		s.mStepErrors.Inc()
-		writeError(w, http.StatusBadRequest, "reading request: %v", err)
-		return
-	}
 	scr.resetBatch()
-	if err := json.Unmarshal(scr.body.Bytes(), &scr.batch); err != nil {
+	if err := scr.decode(r, &scr.batch); err != nil {
 		s.mStepErrors.Inc()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
@@ -715,6 +825,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		updates += sess.info().Updates
 	}
 	s.mPolicyUpdates.Set(float64(updates))
+	if s.trainers != nil {
+		s.trainers.mDepth.Set(float64(len(s.trainers.queue)))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WriteProm(w)
 }

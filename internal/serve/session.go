@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"socrm/internal/control"
 	"socrm/internal/counters"
@@ -31,6 +32,17 @@ type StepTelemetry struct {
 type Session struct {
 	ID     string
 	Policy string
+
+	// trainer is non-nil when the session's online learner runs in async
+	// mode: the step path polls it for readiness and the server's trainer
+	// pool drains it in the background. trainPending dedupes scheduling (a
+	// ready session sits in the pool queue at most once); trainQueuedAt
+	// timestamps the handoff for the train-lag histogram. All three are
+	// touched outside the session mutex — the whole point is that training
+	// coordination never serializes with stepping.
+	trainer       *il.AsyncTrainer
+	trainPending  atomic.Bool
+	trainQueuedAt atomic.Int64
 
 	mu       sync.Mutex
 	dec      control.Decider
