@@ -27,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"socrm/internal/cluster"
 	"socrm/internal/control"
 	"socrm/internal/experiments"
 	"socrm/internal/gpu"
@@ -772,4 +773,107 @@ func BenchmarkBuildDatasetSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sinkDataset = il.BuildDataset(p, orc, apps)
 	}
+}
+
+// ---- PR7: cluster/migration benchmarks ----
+
+// snapshotBenchSession opens a session and warms it with a few closed-loop
+// steps so the exported snapshot carries realistic state (prev telemetry,
+// trained policy) rather than a freshly created shell.
+func snapshotBenchSession(b *testing.B, srv *serve.Server) (string, []byte) {
+	b.Helper()
+	id := benchSession(b, srv)
+	if id == "" {
+		b.Fatal("session create failed")
+	}
+	_, tel := benchServer(b)
+	for i := 0; i < 8; i++ {
+		t := tel
+		if _, _, err := srv.Step(id, &t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data, err := srv.ExportSession(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return id, data
+}
+
+// BenchmarkSessionExport measures the migration snapshot encode: what one
+// session costs to serialize during a drain or rebalance.
+func BenchmarkSessionExport(b *testing.B) {
+	srv, _ := benchServer(b)
+	id, data := snapshotBenchSession(b, srv)
+	defer srv.CloseSession(id)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := srv.ExportSession(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data = out
+	}
+	b.ReportMetric(float64(len(data)), "snapshot_bytes")
+}
+
+// BenchmarkSessionImport measures the restore half: decode + session
+// rebuild + registry insert (and the matching delete so the id stays free).
+func BenchmarkSessionImport(b *testing.B) {
+	srv, _ := benchServer(b)
+	id, data := snapshotBenchSession(b, srv)
+	if _, err := srv.CloseSession(id); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.ImportSession(data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.CloseSession(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouterStep measures one step through the consistent-hash front
+// tier against a real HTTP backend — the full proxied path (route, forward
+// over loopback, copy the response). Compare against
+// BenchmarkServeStepThroughput (the same step without the router) for the
+// router's overhead.
+func BenchmarkRouterStep(b *testing.B) {
+	backendSrv := newBenchServer(0)
+	backend := httptest.NewServer(backendSrv.Handler())
+	defer backend.Close()
+	rt := cluster.NewRouter(cluster.RouterOptions{Backends: []string{backend.URL}})
+	rt.Probe()
+	h := rt.Handler()
+
+	_, tel := benchServer(b)
+	w := httptest.NewRecorder()
+	createBody, _ := json.Marshal(serve.CreateRequest{Policy: serve.PolicyOfflineIL})
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions", bytes.NewReader(createBody))
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		b.Fatalf("create via router = %d: %s", w.Code, w.Body)
+	}
+	var created serve.CreateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		b.Fatal(err)
+	}
+
+	body, _ := json.Marshal(serve.StepRequest{StepTelemetry: tel})
+	stepReq := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+created.ID+"/step", nil)
+	rb := &reusableBody{}
+	dw := &discardResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.r.Reset(body)
+		stepReq.Body = rb
+		h.ServeHTTP(dw, stepReq)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
 }

@@ -22,6 +22,15 @@
 // -replay N switches to load-replay mode: the daemon starts, drives itself
 // with N synthetic clients from the workload traces, prints aggregate stats
 // plus decision-latency quantiles, and exits.
+//
+// -mode selects the process role in a cluster:
+//
+//	standalone  (default) one self-contained daemon
+//	backend     a daemon that can drain its sessions to -peers
+//	            (POST /admin/drain, or SIGTERM)
+//	router      a stateless front tier consistent-hash-routing sessions
+//	            across the -peers backends and migrating them on
+//	            membership change
 package main
 
 import (
@@ -36,15 +45,22 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"socrm/internal/cluster"
 	"socrm/internal/serve"
 	"socrm/internal/soc"
 )
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
+	mode := flag.String("mode", "standalone", "process role: standalone | backend | router")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (router: the backends; backend: drain targets)")
+	selfURL := flag.String("self", "", "this backend's advertised base URL, excluded from its own drain targets")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring; must match across the cluster (0 = default)")
+	probeEvery := flag.Duration("probe-interval", 500*time.Millisecond, "router: backend readiness probe interval")
 	policyFile := flag.String("policy-file", "", "persisted policy file (mlp or tree); empty = governor policies only")
 	bootstrap := flag.Bool("bootstrap", false, "train and write a quick policy to -policy-file if it does not exist")
 	seed := flag.Int64("seed", 42, "seed for bootstrap training, model warm-start and session decorrelation")
@@ -60,11 +76,27 @@ func main() {
 	replayBatch := flag.Int("replay-batch", 1, "telemetry records per replay step request")
 	replayPolicy := flag.String("replay-policy", "offline-il", "session policy replay clients request")
 	replayDirect := flag.Bool("replay-direct", false, "replay through the in-process fast path instead of HTTP (measures the serving layer, not JSON)")
+	replayTargets := flag.String("replay-targets", "", "comma-separated backend URLs sampled during replay for per-backend session distribution (point -replay at a router to measure its spread)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "socserved: "+format+"\n", args...)
 		os.Exit(2)
+	}
+	peerList := splitURLs(*peers)
+	switch *mode {
+	case "standalone", "backend":
+	case "router":
+		if len(peerList) == 0 {
+			fail("-mode router needs -peers")
+		}
+		runRouter(*addr, peerList, *vnodes, *probeEvery, fail)
+		return
+	default:
+		fail("-mode must be standalone, backend or router, got %q", *mode)
+	}
+	if *mode == "backend" && len(peerList) == 0 {
+		fail("-mode backend needs -peers to drain to")
 	}
 	if *maxSessions <= 0 {
 		fail("-max-sessions must be positive, got %d", *maxSessions)
@@ -135,7 +167,19 @@ func main() {
 		log.Printf("async training: %d workers (cross-batch %d)", *trainWorkers, *crossBatch)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	var drainer *cluster.Drainer
+	if *mode == "backend" {
+		drainer = &cluster.Drainer{
+			Server: srv,
+			Self:   *selfURL,
+			Peers:  peerList,
+			VNodes: *vnodes,
+		}
+		handler = cluster.BackendHandler(drainer)
+		log.Printf("backend mode: draining to %d peers", len(peerList))
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail("%v", err)
@@ -184,6 +228,7 @@ func main() {
 			Batch:   *replayBatch,
 			Policy:  *replayPolicy,
 			Seed:    *seed,
+			Targets: splitURLs(*replayTargets),
 		}
 		if *replayDirect {
 			ropt.Server = srv
@@ -199,12 +244,62 @@ func main() {
 			stats.Clients, stats.Steps/stats.Clients, stats.EnergyJ, stats.TimeS)
 		fmt.Printf("decide latency: p50 %.3gs p90 %.3gs p99 %.3gs (n=%d)\n",
 			h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Count())
+		for _, t := range stats.PerTarget {
+			fmt.Printf("target %s: peak %d sessions\n", t.URL, t.PeakSessions)
+		}
+		if len(stats.PerTarget) > 1 {
+			fmt.Printf("distribution skew: %.3f\n", stats.Skew())
+		}
 		// Replay left no requests in flight, so close hard: a graceful
 		// drain only waits out idle keep-alive connections.
 		httpSrv.Close()
 		return
 	}
 
+	select {
+	case <-ctx.Done():
+		// Graceful exit: flip /readyz first so the load balancer (or the
+		// cluster router) stops sending new work, drain sessions to peers in
+		// backend mode, then let in-flight requests finish under a deadline.
+		log.Printf("shutting down")
+		srv.BeginDrain()
+		if drainer != nil {
+			if rep, err := drainer.Drain(); err != nil {
+				log.Printf("drain: %v", err)
+			} else {
+				log.Printf("drained %d sessions to %d peers (%d failed, %d remaining)",
+					rep.Drained, len(rep.Targets), rep.Failed, rep.Remaining)
+			}
+		}
+		shutdown(httpSrv)
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	}
+}
+
+// runRouter is the -mode router main loop: a stateless front tier, no
+// policy store, no sessions of its own.
+func runRouter(addr string, backends []string, vnodes int, probeEvery time.Duration, fail func(string, ...any)) {
+	rt := cluster.NewRouter(cluster.RouterOptions{
+		Backends:      backends,
+		VNodes:        vnodes,
+		ProbeInterval: probeEvery,
+	})
+	rt.Probe()
+	rt.Start()
+	defer rt.Stop()
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	log.Printf("routing for %d backends on %s (%d ready)", len(backends), ln.Addr(), rt.Ring().Len())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
 		log.Printf("shutting down")
@@ -214,6 +309,22 @@ func main() {
 			fail("%v", err)
 		}
 	}
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty entries and
+// trailing slashes (ring membership is string-identical across processes,
+// so normalization here is what keeps router and drainer rings in
+// agreement).
+func splitURLs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimRight(part, "/")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // dialableAddr rewrites a wildcard listen address (":8090" binds the

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"socrm/internal/serve"
+)
+
+// Drainer is the backend-side half of graceful removal: POST /admin/drain
+// (or SIGTERM in backend mode) flips the server unready, stops admission,
+// and streams every resident session to the peers that will own it — the
+// same consistent-hash ring the router uses, over the same peer URLs, so
+// sessions land exactly where the router's next probe will look for them.
+type Drainer struct {
+	Server *serve.Server
+	// Self is this backend's own advertised URL, excluded from targets.
+	Self string
+	// Peers are the other backends' base URLs (the same list every cluster
+	// member and the router were started with).
+	Peers []string
+	// VNodes must match the router's ring construction (<=0 = DefaultVNodes).
+	VNodes int
+	// Client performs the handoff HTTP calls (nil = 10s-timeout client).
+	Client *http.Client
+}
+
+// DrainReport summarizes one drain pass.
+type DrainReport struct {
+	// Drained sessions were handed to a peer.
+	Drained int `json:"drained"`
+	// Failed sessions could not be placed anywhere and were re-imported
+	// locally (they drain on a later pass, or die with the process).
+	Failed int `json:"failed"`
+	// Remaining sessions are still resident after the pass.
+	Remaining int `json:"remaining"`
+	// Targets are the ready peers sessions were streamed to.
+	Targets []string `json:"targets"`
+}
+
+func (d *Drainer) client() *http.Client {
+	if d.Client != nil {
+		return d.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// readyPeers probes the peer list and returns those answering ready,
+// excluding self.
+func (d *Drainer) readyPeers() []string {
+	c := d.client()
+	var up []string
+	for _, p := range d.Peers {
+		if p == "" || p == d.Self {
+			continue
+		}
+		resp, err := c.Get(p + "/readyz")
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			up = append(up, p)
+		}
+	}
+	return up
+}
+
+// Drain stops admission and streams every session to the ready peers. Each
+// session is detached (removed + quiesced + snapshotted in one step — the
+// per-session handoff lock), imported at its ring owner among the targets,
+// and re-imported locally if every target refuses, so a drain never loses
+// a session silently. Sessions keep stepping until the moment their own
+// detach, and a step racing its session's handoff fails with a retryable
+// conflict that the router's relocation chase absorbs.
+func (d *Drainer) Drain() (DrainReport, error) {
+	d.Server.BeginDrain()
+	targets := d.readyPeers()
+	rep := DrainReport{Targets: targets}
+	if len(targets) == 0 {
+		rep.Remaining = d.Server.SessionCount()
+		return rep, fmt.Errorf("drain: no ready peers; %d sessions stay resident", rep.Remaining)
+	}
+	ring := NewRing(targets, d.VNodes)
+	c := d.client()
+	for _, id := range d.Server.SessionIDs() {
+		snapData, err := d.Server.DetachSession(id)
+		if err != nil {
+			// Already gone (closed or migrated away concurrently).
+			continue
+		}
+		if d.place(c, ring, id, snapData) {
+			rep.Drained++
+		} else {
+			// Nobody took it: bring it home rather than drop it. The local
+			// import bypasses the draining gate by design.
+			if _, err := d.Server.ImportSession(snapData); err != nil {
+				// The snapshot came from this very server moments ago; an
+				// import failure here means the session is truly lost.
+				rep.Failed++
+				continue
+			}
+			rep.Failed++
+		}
+	}
+	rep.Remaining = d.Server.SessionCount()
+	return rep, nil
+}
+
+// place imports the snapshot at its ring owner, then at every other target.
+func (d *Drainer) place(c *http.Client, ring *Ring, id string, snapData []byte) bool {
+	targets := append([]string{ring.Owner(id)}, ring.Nodes()...)
+	tried := map[string]bool{}
+	for _, t := range targets {
+		if t == "" || tried[t] {
+			continue
+		}
+		tried[t] = true
+		resp, err := c.Post(t+"/v1/sessions/import", "application/octet-stream", bytes.NewReader(snapData))
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusCreated {
+			return true
+		}
+	}
+	return false
+}
+
+// BackendHandler wraps a backend's serving routes with the cluster admin
+// surface: POST /admin/drain runs the drainer and reports what moved.
+func BackendHandler(d *Drainer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", d.Server.Handler())
+	mux.HandleFunc("POST /admin/drain", func(w http.ResponseWriter, _ *http.Request) {
+		rep, err := d.Drain()
+		status := http.StatusOK
+		if err != nil {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"drained":%d,"failed":%d,"remaining":%d}`+"\n",
+			rep.Drained, rep.Failed, rep.Remaining)
+	})
+	return mux
+}

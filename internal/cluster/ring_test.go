@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("r-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministic: ownership must be a pure function of the node SET —
+// same answers across processes and regardless of the order the operator
+// listed the peers in, because router and drainer compute placement
+// independently.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c", "http://a", "http://b"}, 0)
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q depends on node order: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyRemovedArcs is the consistent-hashing contract:
+// dropping one node relocates only the sessions that node owned. Everything
+// the drain migrates lands exactly where the router's shrunken ring looks.
+func TestRingRemovalMovesOnlyRemovedArcs(t *testing.T) {
+	full := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	less := NewRing([]string{"http://a", "http://b"}, 0)
+	moved, kept := 0, 0
+	for _, k := range keys(2000) {
+		before := full.Owner(k)
+		after := less.Owner(k)
+		if before == "http://c" {
+			moved++
+			continue
+		}
+		kept++
+		if after != before {
+			t.Fatalf("key %q moved from %q to %q though its owner stayed in the ring",
+				k, before, after)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingBalance: with DefaultVNodes every backend should carry a
+// meaningful share — no node starved below 10% on a 3-node ring.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	const n = 3000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, node := range nodes {
+		if c := counts[node]; c < n/10 {
+			t.Fatalf("node %s owns only %d/%d keys — ring badly unbalanced (%v)",
+				node, c, n, counts)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("r-1"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", empty.Len())
+	}
+	single := NewRing([]string{"http://only"}, 4)
+	for _, k := range keys(50) {
+		if single.Owner(k) != "http://only" {
+			t.Fatal("single-node ring routed a key elsewhere")
+		}
+	}
+	if !single.Has("http://only") || single.Has("http://other") {
+		t.Fatal("Has membership wrong")
+	}
+}

@@ -1,0 +1,613 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socrm/internal/metrics"
+	"socrm/internal/serve"
+)
+
+// RouterOptions configure the front tier.
+type RouterOptions struct {
+	// Backends are the backend base URLs the router may route to (its static
+	// universe; readiness probing decides the live subset).
+	Backends []string
+	// VNodes per backend on the hash ring (<=0 = DefaultVNodes).
+	VNodes int
+	// ProbeInterval between membership probes (0 = 500ms).
+	ProbeInterval time.Duration
+	// Client performs all backend HTTP calls (nil = a dedicated client with
+	// a 10s timeout).
+	Client *http.Client
+}
+
+// Router is the session-affine front tier: it consistent-hash-routes
+// session ids across ready backends, forwards the serving API, and migrates
+// sessions (export on the old owner, import on the new) whenever the ready
+// set changes, so a client talks to one URL while sessions live wherever
+// the ring says. A relocation cache papers over the handoff window: a step
+// that races a migration retries where the session actually is instead of
+// surfacing an error.
+type Router struct {
+	backends []string
+	vnodes   int
+	interval time.Duration
+	client   *http.Client
+
+	// ring is the current ownership map, swapped whole on membership change;
+	// the proxy hot path loads it with one atomic read.
+	ring atomic.Pointer[Ring]
+
+	// mu serializes probing/rebalancing (slow path only).
+	mu    sync.Mutex
+	ready map[string]bool
+
+	// relocations overrides ring ownership per session id while placement
+	// and ring disagree (mid-drain, mid-rebalance, off-owner create).
+	relocations sync.Map // session id -> backend URL
+
+	nextID   atomic.Int64
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	reg              *metrics.Registry
+	mReady           *metrics.Gauge
+	mProxied         *metrics.Counter
+	mProxyErrors     *metrics.Counter
+	mMigrations      *metrics.Counter
+	mFailedHandoffs  *metrics.Counter
+	mRelocations     *metrics.Counter
+	mRebalance       *metrics.Histogram
+	backendGaugesMu  sync.Mutex
+	mBackendSessions map[string]*metrics.Gauge
+}
+
+// NewRouter builds a router over the configured backends. Call Probe once
+// (or Start) before serving so the ring reflects reality.
+func NewRouter(opt RouterOptions) *Router {
+	if opt.VNodes <= 0 {
+		opt.VNodes = DefaultVNodes
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = 500 * time.Millisecond
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	reg := metrics.NewRegistry()
+	rt := &Router{
+		backends: append([]string(nil), opt.Backends...),
+		vnodes:   opt.VNodes,
+		interval: opt.ProbeInterval,
+		client:   opt.Client,
+		ready:    map[string]bool{},
+		stop:     make(chan struct{}),
+		reg:      reg,
+		mReady: reg.Gauge("socrouted_backends_ready",
+			"Backends currently passing the readiness probe."),
+		mProxied: reg.Counter("socrouted_proxied_requests_total",
+			"Requests forwarded to backends."),
+		mProxyErrors: reg.Counter("socrouted_proxy_errors_total",
+			"Forwarded requests that failed at the transport level."),
+		mMigrations: reg.Counter("socrouted_migrations_total",
+			"Sessions migrated between backends by the router."),
+		mFailedHandoffs: reg.Counter("socrouted_failed_handoffs_total",
+			"Session migrations that lost the session (export succeeded, every import failed)."),
+		mRelocations: reg.Counter("socrouted_relocations_total",
+			"Sessions found off their ring owner and re-pinned by probing."),
+		mRebalance: reg.Histogram("socrouted_rebalance_seconds",
+			"Wall time of each topology-change rebalance."),
+		mBackendSessions: map[string]*metrics.Gauge{},
+	}
+	rt.ring.Store(NewRing(nil, opt.VNodes))
+	return rt
+}
+
+// Metrics exposes the router's registry.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// Ring returns the current ownership ring.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// Start launches the background probe loop; Stop ends it.
+func (rt *Router) Start() {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		t := time.NewTicker(rt.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				rt.Probe()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// Probe checks every configured backend's /readyz, rebuilds the ring when
+// the ready set changed, and migrates sessions stranded off their new
+// owner. It returns whether membership changed. Safe to call concurrently
+// with serving; probes serialize among themselves.
+func (rt *Router) Probe() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	changed := false
+	readyCount := 0
+	for _, b := range rt.backends {
+		up := rt.probeOne(b)
+		if up {
+			readyCount++
+		}
+		if rt.ready[b] != up {
+			rt.ready[b] = up
+			changed = true
+		}
+	}
+	rt.mReady.Set(float64(readyCount))
+	if !changed {
+		rt.updateBackendGauges()
+		return false
+	}
+	nodes := make([]string, 0, readyCount)
+	for _, b := range rt.backends {
+		if rt.ready[b] {
+			nodes = append(nodes, b)
+		}
+	}
+	ring := NewRing(nodes, rt.vnodes)
+	rt.ring.Store(ring)
+	rt.rebalanceLocked(ring)
+	rt.updateBackendGauges()
+	return true
+}
+
+// probeOne reports whether one backend answers ready.
+func (rt *Router) probeOne(backend string) bool {
+	resp, err := rt.client.Get(backend + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// sessionsOf lists a backend's live sessions.
+func (rt *Router) sessionsOf(backend string) ([]string, error) {
+	resp, err := rt.client.Get(backend + "/admin/sessions")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%s: listing sessions: %s", backend, resp.Status)
+	}
+	var list struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, err
+	}
+	return list.Sessions, nil
+}
+
+// rebalanceLocked moves every session that the new ring assigns elsewhere.
+// After a backend removal consistent hashing only relocates the removed
+// node's arcs, so survivors mostly hold their sessions and the loop is
+// cheap; after an addition the new node's arc worth of sessions streams in.
+func (rt *Router) rebalanceLocked(ring *Ring) {
+	start := time.Now()
+	for _, b := range ring.Nodes() {
+		ids, err := rt.sessionsOf(b)
+		if err != nil {
+			continue
+		}
+		for _, id := range ids {
+			owner := ring.Owner(id)
+			if owner == b {
+				rt.relocations.Delete(id)
+				continue
+			}
+			rt.migrate(id, b, owner, ring)
+		}
+	}
+	rt.mRebalance.Observe(time.Since(start).Seconds())
+}
+
+// migrate hands one session from one backend to another: detach (the
+// per-session handoff lock — the source removes, quiesces training and
+// snapshots in one call), then import at the destination, falling back to
+// any other ready backend rather than losing the session.
+func (rt *Router) migrate(id, from, to string, ring *Ring) {
+	snapData, status, err := rt.do(http.MethodPost, from, "/v1/sessions/"+id+"/detach", nil, "")
+	if err != nil || status != http.StatusOK {
+		// Someone else (a drain, a concurrent probe) already moved it.
+		return
+	}
+	targets := append([]string{to}, ring.Nodes()...)
+	for _, t := range targets {
+		if t == from {
+			continue
+		}
+		_, status, err = rt.do(http.MethodPost, t, "/v1/sessions/import", snapData, "application/octet-stream")
+		if err == nil && (status == http.StatusCreated || status == http.StatusConflict) {
+			rt.mMigrations.Inc()
+			if t == ring.Owner(id) {
+				rt.relocations.Delete(id)
+			} else {
+				rt.relocations.Store(id, t)
+			}
+			return
+		}
+	}
+	// Last resort: put it back where it came from.
+	if _, status, err = rt.do(http.MethodPost, from, "/v1/sessions/import", snapData, "application/octet-stream"); err == nil && status == http.StatusCreated {
+		rt.relocations.Store(id, from)
+		return
+	}
+	rt.mFailedHandoffs.Inc()
+}
+
+// updateBackendGauges refreshes the per-backend session-count gauges.
+func (rt *Router) updateBackendGauges() {
+	for _, b := range rt.backends {
+		if !rt.ready[b] {
+			rt.backendGauge(b).Set(0)
+			continue
+		}
+		if ids, err := rt.sessionsOf(b); err == nil {
+			rt.backendGauge(b).Set(float64(len(ids)))
+		}
+	}
+}
+
+// backendGauge returns the session gauge for one backend, registering it on
+// first use (label embedded in the metric name, the registry's convention).
+func (rt *Router) backendGauge(backend string) *metrics.Gauge {
+	rt.backendGaugesMu.Lock()
+	defer rt.backendGaugesMu.Unlock()
+	g, found := rt.mBackendSessions[backend]
+	if !found {
+		g = rt.reg.Gauge(fmt.Sprintf("socrouted_backend_sessions{backend=%q}", backend),
+			"Sessions currently resident on the backend.")
+		rt.mBackendSessions[backend] = g
+	}
+	return g
+}
+
+// do performs one backend call and returns the response body and status.
+func (rt *Router) do(method, backend, path string, body []byte, contentType string) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, backend+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.mProxyErrors.Inc()
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		rt.mProxyErrors.Inc()
+		return nil, 0, err
+	}
+	rt.mProxied.Inc()
+	return data, resp.StatusCode, nil
+}
+
+// route resolves a session id to its backend: the relocation cache wins
+// over the ring (it records where the session actually is).
+func (rt *Router) route(id string) (string, bool) {
+	if v, found := rt.relocations.Load(id); found {
+		return v.(string), true
+	}
+	owner := rt.ring.Load().Owner(id)
+	return owner, owner != ""
+}
+
+// locate probes every ready backend for the session, re-pinning the
+// relocation cache when found. It is the router's answer to the handoff
+// window: between detach and import the session exists nowhere, so a
+// not-found is retried by the caller rather than trusted immediately.
+func (rt *Router) locate(id string) (string, bool) {
+	for _, b := range rt.ring.Load().Nodes() {
+		_, status, err := rt.do(http.MethodGet, b, "/v1/sessions/"+id, nil, "")
+		if err == nil && status == http.StatusOK {
+			if b != rt.ring.Load().Owner(id) {
+				rt.relocations.Store(id, b)
+			} else {
+				rt.relocations.Delete(id)
+			}
+			rt.mRelocations.Inc()
+			return b, true
+		}
+	}
+	return "", false
+}
+
+// relocateRetryBudget bounds how long a session call chases a migrating
+// session before surfacing the backend's answer. Handoffs are milliseconds
+// (export + import of tens of kilobytes), so a generous budget still keeps
+// a genuinely missing session's 404 fast.
+const (
+	relocateRetryBudget = 2 * time.Second
+	relocateRetryPause  = 2 * time.Millisecond
+)
+
+// callSession forwards one session-scoped request, chasing migrations: a
+// 404/409 from the routed backend triggers a cluster-wide locate and a
+// retry, until the budget expires.
+func (rt *Router) callSession(method, id, path string, body []byte, contentType string) ([]byte, int, error) {
+	deadline := time.Now().Add(relocateRetryBudget)
+	var (
+		data   []byte
+		status int
+		err    error
+	)
+	for {
+		backend, routed := rt.route(id)
+		if routed {
+			data, status, err = rt.do(method, backend, path, body, contentType)
+			if err == nil && status != http.StatusNotFound && status != http.StatusConflict {
+				return data, status, nil
+			}
+		} else {
+			err = fmt.Errorf("no ready backend")
+		}
+		if _, found := rt.locate(id); !found {
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(relocateRetryPause)
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if err != nil {
+		return nil, http.StatusBadGateway, err
+	}
+	return data, status, nil
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the router's routes: the serving API forwarded along the
+// ring, plus the router's own health and metrics.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", rt.handleSession(http.MethodPost, "/step"))
+	mux.HandleFunc("GET /v1/sessions/{id}", rt.handleSession(http.MethodGet, ""))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", rt.handleSession(http.MethodDelete, ""))
+	mux.HandleFunc("POST /v1/step/batch", rt.handleBatch)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /admin/backends", rt.handleBackends)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if rt.ring.Load().Len() == 0 {
+			http.Error(w, "no ready backends", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+// maxRouterBody mirrors the backend's request-body bound.
+const maxRouterBody = 8 << 20
+
+func (rt *Router) writeProxied(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// handleCreate assigns the session id (so placement follows the ring),
+// forwards the create to the owner, and falls back across ready backends if
+// the owner refuses.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req serve.CreateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxRouterBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"decoding request: %v"}`, err), http.StatusBadRequest)
+		return
+	}
+	if req.ID == "" {
+		req.ID = "r-" + strconv.FormatInt(rt.nextID.Add(1), 10)
+	}
+	ring := rt.ring.Load()
+	owner := ring.Owner(req.ID)
+	if owner == "" {
+		http.Error(w, `{"error":"no ready backends"}`, http.StatusServiceUnavailable)
+		return
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"%v"}`, err), http.StatusInternalServerError)
+		return
+	}
+	targets := append([]string{owner}, ring.Nodes()...)
+	for i, b := range targets {
+		if i > 0 && b == owner {
+			continue
+		}
+		data, status, err := rt.do(http.MethodPost, b, "/v1/sessions", body, "application/json")
+		if err != nil {
+			continue
+		}
+		if status == http.StatusCreated {
+			if b != owner {
+				rt.relocations.Store(req.ID, b)
+			}
+			rt.writeProxied(w, status, data)
+			return
+		}
+		if status != http.StatusServiceUnavailable {
+			rt.writeProxied(w, status, data)
+			return
+		}
+	}
+	http.Error(w, `{"error":"no backend accepted the session"}`, http.StatusServiceUnavailable)
+}
+
+// handleSession forwards a session-scoped request with migration chasing.
+func (rt *Router) handleSession(method, suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		var body []byte
+		if method == http.MethodPost {
+			var err error
+			body, err = io.ReadAll(io.LimitReader(r.Body, maxRouterBody))
+			if err != nil {
+				http.Error(w, fmt.Sprintf(`{"error":"%v"}`, err), http.StatusBadRequest)
+				return
+			}
+		}
+		data, status, err := rt.callSession(method, id, "/v1/sessions/"+id+suffix, body, "application/json")
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":"%v"}`, err), status)
+			return
+		}
+		if method == http.MethodDelete && status == http.StatusOK {
+			rt.relocations.Delete(id)
+		}
+		rt.writeProxied(w, status, data)
+	}
+}
+
+// handleBatch splits a fleet tick by owning backend, forwards the
+// sub-batches, and merges the per-entry results back into request order. An
+// entry whose backend reports no-session gets one individual retry through
+// the migration-chasing path before the error is surfaced.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req serve.BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxRouterBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"decoding request: %v"}`, err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Entries) == 0 {
+		http.Error(w, `{"error":"batch request carries no entries"}`, http.StatusBadRequest)
+		return
+	}
+	results := make([]serve.BatchResult, len(req.Entries))
+	groups := map[string][]int{} // backend -> entry indexes
+	for i := range req.Entries {
+		id := req.Entries[i].Session.String()
+		backend, routed := rt.route(id)
+		if !routed {
+			results[i] = serve.BatchResult{Session: id, Status: serve.StepNoSession, Error: "no ready backend"}
+			continue
+		}
+		groups[backend] = append(groups[backend], i)
+	}
+	for backend, idxs := range groups {
+		sub := serve.BatchRequest{Entries: make([]serve.BatchEntry, len(idxs))}
+		for j, i := range idxs {
+			sub.Entries[j] = req.Entries[i]
+		}
+		body, err := json.Marshal(&sub)
+		if err != nil {
+			continue
+		}
+		data, status, err := rt.do(http.MethodPost, backend, "/v1/step/batch", body, "application/json")
+		if err != nil || status != http.StatusOK {
+			for _, i := range idxs {
+				results[i] = serve.BatchResult{
+					Session: req.Entries[i].Session.String(),
+					Status:  serve.StepRejected,
+					Error:   "backend unavailable",
+				}
+			}
+			continue
+		}
+		var sresp serve.BatchResponse
+		if err := json.Unmarshal(data, &sresp); err != nil || len(sresp.Results) != len(idxs) {
+			continue
+		}
+		for j, i := range idxs {
+			results[i] = sresp.Results[j]
+		}
+	}
+	// Second chance for entries that missed: the session may have been
+	// mid-migration when the sub-batch landed.
+	for i := range results {
+		if results[i].Status != serve.StepNoSession {
+			continue
+		}
+		id := req.Entries[i].Session.String()
+		one := serve.BatchRequest{Entries: []serve.BatchEntry{req.Entries[i]}}
+		body, err := json.Marshal(&one)
+		if err != nil {
+			continue
+		}
+		if _, found := rt.locate(id); !found {
+			continue
+		}
+		backend, routed := rt.route(id)
+		if !routed {
+			continue
+		}
+		data, status, err := rt.do(http.MethodPost, backend, "/v1/step/batch", body, "application/json")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var sresp serve.BatchResponse
+		if err := json.Unmarshal(data, &sresp); err == nil && len(sresp.Results) == 1 {
+			results[i] = sresp.Results[0]
+		}
+	}
+	resp := serve.BatchResponse{Results: results}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.reg.WriteProm(w)
+}
+
+// backendState is one backend's view in GET /admin/backends.
+type backendState struct {
+	URL   string `json:"url"`
+	Ready bool   `json:"ready"`
+}
+
+func (rt *Router) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	rt.mu.Lock()
+	states := make([]backendState, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		states = append(states, backendState{URL: b, Ready: rt.ready[b]})
+	}
+	rt.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"backends": states})
+}

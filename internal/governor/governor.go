@@ -110,6 +110,18 @@ func (g *Interactive) Decide(st control.State) soc.Config {
 	return g.cur
 }
 
+// State exposes the governor's ramp state (the held configuration and
+// whether it has latched onto a first observation) for session migration.
+func (g *Interactive) State() (cur soc.Config, initialized bool) {
+	return g.cur, g.initialized
+}
+
+// SetState restores ramp state captured by State on another instance, so a
+// migrated governor continues the exact ramp trajectory.
+func (g *Interactive) SetState(cur soc.Config, initialized bool) {
+	g.cur, g.initialized = cur, initialized
+}
+
 // Performance pins everything at maximum.
 type Performance struct{ P *soc.Platform }
 

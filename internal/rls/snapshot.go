@@ -1,0 +1,49 @@
+package rls
+
+import (
+	"fmt"
+
+	"socrm/internal/mathx"
+	"socrm/internal/snap"
+)
+
+// EncodeTo writes the estimator's complete state — weights, the inverse
+// correlation matrix, the forgetting factor and the sample count — so a
+// migrated consumer continues the exact update trajectory the source would
+// have taken.
+func (r *RLS) EncodeTo(e *snap.Encoder) {
+	e.F64s(r.W)
+	e.F64s(r.P.Data)
+	e.F64(r.Lambda)
+	e.Int(r.n)
+}
+
+// DecodeRLS reconstructs an estimator written by EncodeTo.
+func DecodeRLS(d *snap.Decoder) (*RLS, error) {
+	w := d.F64s()
+	pdata := d.F64s()
+	lambda := d.F64()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	dim := len(w)
+	if dim == 0 {
+		return nil, fmt.Errorf("rls: decoded estimator has no weights")
+	}
+	if len(pdata) != dim*dim {
+		return nil, fmt.Errorf("rls: decoded covariance has %d values, want %d", len(pdata), dim*dim)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("rls: decoded forgetting factor %v out of (0,1]", lambda)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("rls: decoded sample count %d negative", n)
+	}
+	return &RLS{
+		W:      w,
+		P:      &mathx.Matrix{Rows: dim, Cols: dim, Data: pdata},
+		Lambda: lambda,
+		n:      n,
+	}, nil
+}

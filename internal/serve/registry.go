@@ -101,19 +101,37 @@ func (r *registry) getBytes(id []byte) *Session {
 	return s
 }
 
+// insertStatus is the outcome of a registry insert.
+type insertStatus uint8
+
+const (
+	insertOK insertStatus = iota
+	// insertFull: the global session limit is reached.
+	insertFull
+	// insertDup: a session with the same id already exists. Ids were once
+	// always server-assigned and could not collide; with caller-supplied ids
+	// (router placement, snapshot import) a silent overwrite would leak the
+	// old session, so duplicates are refused.
+	insertDup
+)
+
 // insert adds a session, enforcing the global limit with an optimistic
 // reserve-then-publish on the atomic count so the cap needs no global lock.
-// It reports false when the table is full.
-func (r *registry) insert(s *Session) bool {
+func (r *registry) insert(s *Session) insertStatus {
 	if r.count.Add(1) > r.limit {
 		r.count.Add(-1)
-		return false
+		return insertFull
 	}
 	sh := r.shardFor(s.ID)
 	sh.mu.Lock()
+	if _, dup := sh.m[s.ID]; dup {
+		sh.mu.Unlock()
+		r.count.Add(-1)
+		return insertDup
+	}
 	sh.m[s.ID] = s
 	sh.mu.Unlock()
-	return true
+	return insertOK
 }
 
 // remove deletes and returns the session with the given id, or nil.

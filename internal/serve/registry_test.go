@@ -29,7 +29,7 @@ func TestRegistryInsertGetRemoveAcrossShards(t *testing.T) {
 	r := newRegistry(8, 1000)
 	const n = 500
 	for i := 0; i < n; i++ {
-		if !r.insert(&Session{ID: fmt.Sprintf("s-%d", i)}) {
+		if r.insert(&Session{ID: fmt.Sprintf("s-%d", i)}) != insertOK {
 			t.Fatalf("insert %d refused below the limit", i)
 		}
 	}
@@ -76,7 +76,7 @@ func TestRegistryEnforcesLimitUnderConcurrency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				id := fmt.Sprintf("s-%d-%d", w, i)
-				if r.insert(&Session{ID: id}) {
+				if r.insert(&Session{ID: id}) == insertOK {
 					accepted.Store(id, true)
 				}
 			}
@@ -346,7 +346,8 @@ func TestReplayDirectMatchesHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if viaHTTP != viaDirect {
+	if viaHTTP.Clients != viaDirect.Clients || viaHTTP.Steps != viaDirect.Steps ||
+		viaHTTP.EnergyJ != viaDirect.EnergyJ || viaHTTP.TimeS != viaDirect.TimeS {
 		t.Fatalf("transports disagree:\nhttp   %+v\ndirect %+v", viaHTTP, viaDirect)
 	}
 	if n := srvHTTP.Metrics(); n == nil {

@@ -68,20 +68,27 @@ type Server struct {
 	sessions *registry
 	nextID   atomic.Int64
 
+	// draining stops admission (creates and imports) once a drain or
+	// graceful shutdown begins; existing sessions keep stepping so they can
+	// be handed off one at a time.
+	draining atomic.Bool
+
 	// trainers is the background training pool; nil in synchronous mode.
 	trainers   *trainerPool
 	trainQueue int
 
-	reg             *metrics.Registry
-	mSessionsActive *metrics.Gauge
-	mSessionsTotal  *metrics.Counter
-	mSessionsClosed *metrics.Counter
-	mSteps          *metrics.Counter
-	mStepErrors     *metrics.Counter
-	mReloads        *metrics.Counter
-	mPolicyUpdates  *metrics.Gauge
-	mEnergy         *metrics.Counter
-	mLatency        *metrics.Histogram
+	reg               *metrics.Registry
+	mSessionsActive   *metrics.Gauge
+	mSessionsTotal    *metrics.Counter
+	mSessionsClosed   *metrics.Counter
+	mSessionsExported *metrics.Counter
+	mSessionsImported *metrics.Counter
+	mSteps            *metrics.Counter
+	mStepErrors       *metrics.Counter
+	mReloads          *metrics.Counter
+	mPolicyUpdates    *metrics.Gauge
+	mEnergy           *metrics.Counter
+	mLatency          *metrics.Histogram
 }
 
 // New returns a Server ready to serve.
@@ -107,6 +114,10 @@ func New(opt Options) *Server {
 			"Governor sessions created since start."),
 		mSessionsClosed: reg.Counter("socserved_sessions_closed_total",
 			"Governor sessions closed since start."),
+		mSessionsExported: reg.Counter("socserved_sessions_exported_total",
+			"Session snapshots exported (live exports and migration detaches)."),
+		mSessionsImported: reg.Counter("socserved_sessions_imported_total",
+			"Sessions restored from migration snapshots."),
 		mSteps: reg.Counter("socserved_steps_total",
 			"Telemetry steps decided since start."),
 		mStepErrors: reg.Counter("socserved_step_errors_total",
@@ -257,6 +268,9 @@ func (s *Server) defaultStart() soc.Config {
 // CreateSession opens a session and returns its handle plus the start
 // configuration the client should execute first.
 func (s *Server) CreateSession(req CreateRequest) (CreateResponse, error) {
+	if s.draining.Load() {
+		return CreateResponse{}, apiErrorf(http.StatusServiceUnavailable, "server is draining")
+	}
 	if req.Policy == "" {
 		req.Policy = PolicyOfflineIL
 	}
@@ -273,13 +287,24 @@ func (s *Server) CreateSession(req CreateRequest) (CreateResponse, error) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
+	name := req.ID
+	if name == "" {
+		name = "s-" + strconv.FormatInt(id, 10)
+	} else if len(name) > maxSessionID {
+		return CreateResponse{}, apiErrorf(http.StatusBadRequest,
+			"session id exceeds %d bytes", maxSessionID)
+	}
 	dec, trainer, err := s.newDecider(req.Policy, seed)
 	if err != nil {
 		return CreateResponse{}, apiErrorf(http.StatusBadRequest, "%v", err)
 	}
-	sess := &Session{ID: "s-" + strconv.FormatInt(id, 10), Policy: req.Policy, dec: dec, trainer: trainer}
+	sess := &Session{ID: name, Policy: req.Policy, dec: dec, trainer: trainer}
 	sess.lastCfg = s.defaultStart()
-	if !s.sessions.insert(sess) {
+	switch s.sessions.insert(sess) {
+	case insertDup:
+		return CreateResponse{}, apiErrorf(http.StatusConflict,
+			"session %q already exists", name)
+	case insertFull:
 		return CreateResponse{}, apiErrorf(http.StatusServiceUnavailable,
 			"session limit %d reached", s.maxSessions)
 	}
@@ -287,6 +312,10 @@ func (s *Server) CreateSession(req CreateRequest) (CreateResponse, error) {
 	s.mSessionsActive.Add(1)
 	return CreateResponse{ID: sess.ID, Policy: req.Policy, Start: sess.lastCfg}, nil
 }
+
+// maxSessionID bounds caller-supplied session ids: ids are map keys, metric
+// fodder and hash-ring input, not a payload channel.
+const maxSessionID = 128
 
 // stepSession runs one decision on a live session with full metrics
 // accounting — the innermost serving hot path.
@@ -448,6 +477,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/step/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/sessions/{id}/detach", s.handleDetach)
+	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
+	mux.HandleFunc("GET /admin/sessions", s.handleSessionList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -462,6 +495,10 @@ func (s *Server) Handler() http.Handler {
 // a persisted policy is loaded (when one is configured) and background
 // training is not drowning in backlog.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
 	if s.store != nil && s.store.Generation() == 0 {
 		http.Error(w, "policy not loaded", http.StatusServiceUnavailable)
 		return
@@ -486,6 +523,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // CreateRequest is the body of POST /v1/sessions.
 type CreateRequest struct {
 	Policy string `json:"policy"`
+	// ID names the session explicitly instead of taking a server-assigned
+	// id. The cluster router supplies ids so that session placement follows
+	// its hash ring; plain clients leave it empty.
+	ID string `json:"id,omitempty"`
 	// Seed overrides the server-assigned per-session training seed.
 	Seed *int64 `json:"seed,omitempty"`
 }
