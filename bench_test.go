@@ -17,6 +17,7 @@ package socrm
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"testing"
 	"time"
 
+	"socrm/internal/ckpt"
 	"socrm/internal/cluster"
 	"socrm/internal/control"
 	"socrm/internal/experiments"
@@ -876,4 +878,76 @@ func BenchmarkRouterStep(b *testing.B) {
 		h.ServeHTTP(dw, stepReq)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// ---- PR8: durability/replication benchmarks ----
+
+// BenchmarkCheckpointExport measures one checkpoint record end to end:
+// export the session snapshot and append it (CRC + length-prefix, no
+// fsync) to the store — the per-session cost of every checkpoint flush.
+func BenchmarkCheckpointExport(b *testing.B) {
+	srv, _ := benchServer(b)
+	id, data := snapshotBenchSession(b, srv)
+	defer srv.CloseSession(id)
+	store, err := ckpt.Open(ckpt.Options{Dir: b.TempDir(), Sync: ckpt.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := srv.ExportSession(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Append(id, out); err != nil {
+			b.Fatal(err)
+		}
+		data = out
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(data)), "snapshot_bytes")
+}
+
+// BenchmarkReplicaPush measures the replication pipeline under overload:
+// enqueue on the per-peer queue (which must never block or allocate — a
+// slow standby may not touch checkpoint cadence), worker POST to the
+// standby, standby discards. The enqueue rate far outruns one peer's HTTP
+// throughput, so most records drop oldest-first; the reported "dropped"
+// metric is that pressure valve working, and timing waits for every
+// record to settle (pushed, dropped, or errored) before stopping.
+func BenchmarkReplicaPush(b *testing.B) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer peer.Close()
+	srv, _ := benchServer(b)
+	id, data := snapshotBenchSession(b, srv)
+	defer srv.CloseSession(id)
+	reg := metrics.NewRegistry()
+	repl := cluster.NewReplicator(cluster.ReplicatorOptions{
+		Self:      "http://self",
+		Peers:     []string{"http://self", peer.URL},
+		QueueSize: 1024,
+		Registry:  reg,
+	})
+	defer repl.Stop()
+	settled := func() float64 {
+		return reg.Counter("socserved_replica_pushed_total", "").Value() +
+			reg.Counter("socserved_replica_push_errors_total", "").Value() +
+			reg.Counter("socserved_replica_queue_dropped_total", "").Value()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repl.Push(id, data)
+	}
+	for settled() < float64(b.N) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(data)), "snapshot_bytes")
+	b.ReportMetric(reg.Counter("socserved_replica_queue_dropped_total", "").Value(), "dropped")
 }

@@ -31,6 +31,14 @@
 //	router      a stateless front tier consistent-hash-routing sessions
 //	            across the -peers backends and migrating them on
 //	            membership change
+//
+// Crash durability: -ckpt-dir streams session checkpoints to an
+// append-compact log replayed on restart (/readyz stays 503 until the
+// replay finishes); in backend mode the same stream is replicated to each
+// session's ring-successor standby, which promotes the replica on the
+// first step after a failover. The -chaos-* flags inject deterministic
+// faults (latency, 500s, connection resets, torn checkpoint writes) for
+// soak tests — never production.
 package main
 
 import (
@@ -49,6 +57,8 @@ import (
 	"syscall"
 	"time"
 
+	"socrm/internal/chaos"
+	"socrm/internal/ckpt"
 	"socrm/internal/cluster"
 	"socrm/internal/serve"
 	"socrm/internal/soc"
@@ -61,6 +71,23 @@ func main() {
 	selfURL := flag.String("self", "", "this backend's advertised base URL, excluded from its own drain targets")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring; must match across the cluster (0 = default)")
 	probeEvery := flag.Duration("probe-interval", 500*time.Millisecond, "router: backend readiness probe interval")
+	callTimeout := flag.Duration("call-timeout", 0, "deadline for one proxied/drain/replica HTTP call (0 = 5s)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "deadline for one readiness probe (0 = 2s)")
+	retries := flag.Int("retries", 0, "router: retry budget per proxied call after the first attempt (0 = 2, negative = no retries)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "router: base of the jittered exponential retry backoff (0 = 25ms)")
+	failAfter := flag.Int("fail-after", 0, "router: consecutive silent probe failures before a backend leaves the ring (0 = 3)")
+	ckptDir := flag.String("ckpt-dir", "", "durable checkpoint directory; empty = no crash durability")
+	ckptInterval := flag.Duration("ckpt-interval", time.Second, "checkpoint flush cadence; a crash loses at most this much progress per session")
+	ckptDirty := flag.Int("ckpt-dirty", 0, "flush early once this many sessions have uncheckpointed steps (0 = interval-only)")
+	ckptSync := flag.String("ckpt-sync", "always", "checkpoint fsync policy: always | none")
+	replicate := flag.Bool("replicate", true, "backend mode: push checkpoint records to each session's ring-successor standby")
+	replicaQueue := flag.Int("replica-queue", 0, "per-peer replica queue in records; a full queue drops oldest (0 = 256)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection schedule seed (deterministic per seed)")
+	chaosLatency := flag.Duration("chaos-latency", 0, "chaos: extra latency injected when -chaos-latency-p fires")
+	chaosLatencyP := flag.Float64("chaos-latency-p", 0, "chaos: probability of injecting -chaos-latency per request")
+	chaosErrorP := flag.Float64("chaos-error-p", 0, "chaos: probability of answering 500 instead of serving")
+	chaosResetP := flag.Float64("chaos-reset-p", 0, "chaos: probability of dropping the connection mid-request")
+	chaosTornP := flag.Float64("chaos-torn-p", 0, "chaos: probability of tearing a checkpoint record mid-write")
 	policyFile := flag.String("policy-file", "", "persisted policy file (mlp or tree); empty = governor policies only")
 	bootstrap := flag.Bool("bootstrap", false, "train and write a quick policy to -policy-file if it does not exist")
 	seed := flag.Int64("seed", 42, "seed for bootstrap training, model warm-start and session decorrelation")
@@ -83,6 +110,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "socserved: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	for _, p := range []struct {
+		name  string
+		value float64
+	}{
+		{"-chaos-latency-p", *chaosLatencyP},
+		{"-chaos-error-p", *chaosErrorP},
+		{"-chaos-reset-p", *chaosResetP},
+		{"-chaos-torn-p", *chaosTornP},
+	} {
+		if p.value < 0 || p.value > 1 {
+			fail("%s must be in [0,1], got %g", p.name, p.value)
+		}
+	}
+	var inj *chaos.Injector
+	if *chaosLatencyP > 0 || *chaosErrorP > 0 || *chaosResetP > 0 || *chaosTornP > 0 {
+		inj = chaos.New(chaos.Options{
+			Seed:     *chaosSeed,
+			Latency:  *chaosLatency,
+			LatencyP: *chaosLatencyP,
+			ErrorP:   *chaosErrorP,
+			ResetP:   *chaosResetP,
+			TornP:    *chaosTornP,
+		})
+		log.Printf("CHAOS ACTIVE (seed %d): latency %v@%g error %g reset %g torn %g — never run in production",
+			*chaosSeed, *chaosLatency, *chaosLatencyP, *chaosErrorP, *chaosResetP, *chaosTornP)
+	}
 	peerList := splitURLs(*peers)
 	switch *mode {
 	case "standalone", "backend":
@@ -90,7 +143,16 @@ func main() {
 		if len(peerList) == 0 {
 			fail("-mode router needs -peers")
 		}
-		runRouter(*addr, peerList, *vnodes, *probeEvery, fail)
+		runRouter(cluster.RouterOptions{
+			Backends:      peerList,
+			VNodes:        *vnodes,
+			ProbeInterval: *probeEvery,
+			CallTimeout:   *callTimeout,
+			ProbeTimeout:  *probeTimeout,
+			Retries:       *retries,
+			RetryBackoff:  *retryBackoff,
+			FailAfter:     *failAfter,
+		}, *addr, inj, fail)
 		return
 	default:
 		fail("-mode must be standalone, backend or router, got %q", *mode)
@@ -171,14 +233,78 @@ func main() {
 	var drainer *cluster.Drainer
 	if *mode == "backend" {
 		drainer = &cluster.Drainer{
-			Server: srv,
-			Self:   *selfURL,
-			Peers:  peerList,
-			VNodes: *vnodes,
+			Server:      srv,
+			Self:        *selfURL,
+			Peers:       peerList,
+			VNodes:      *vnodes,
+			CallTimeout: *callTimeout,
 		}
 		handler = cluster.BackendHandler(drainer)
 		log.Printf("backend mode: draining to %d peers", len(peerList))
 	}
+	if inj != nil {
+		handler = inj.Middleware(handler)
+	}
+
+	// Durability stack: checkpoint store (crash recovery), replicator (warm
+	// standby on the ring successor), checkpointer (drives both).
+	var ckStore *ckpt.Store
+	if *ckptDir != "" {
+		if *ckptInterval <= 0 {
+			fail("-ckpt-interval must be positive, got %v", *ckptInterval)
+		}
+		var sync ckpt.SyncPolicy
+		switch *ckptSync {
+		case "always":
+			sync = ckpt.SyncAlways
+		case "none":
+			sync = ckpt.SyncNone
+		default:
+			fail("-ckpt-sync must be always or none, got %q", *ckptSync)
+		}
+		copt := ckpt.Options{Dir: *ckptDir, Sync: sync}
+		if inj != nil && *chaosTornP > 0 {
+			copt.MaimWrites = inj.TornWrites()
+		}
+		var err error
+		if ckStore, err = ckpt.Open(copt); err != nil {
+			fail("checkpoint store: %v", err)
+		}
+		log.Printf("checkpointing to %s every %v (sync %s)", *ckptDir, *ckptInterval, *ckptSync)
+	}
+	var repl *cluster.Replicator
+	if *mode == "backend" && *replicate {
+		repl = cluster.NewReplicator(cluster.ReplicatorOptions{
+			Self:        *selfURL,
+			Peers:       peerList,
+			VNodes:      *vnodes,
+			QueueSize:   *replicaQueue,
+			CallTimeout: *callTimeout,
+			Registry:    srv.Metrics(),
+		})
+		log.Printf("replicating checkpoints to ring-successor standbys")
+	}
+	var ck *serve.Checkpointer
+	if store != nil || repl != nil {
+		ckOpt := serve.CheckpointerOptions{
+			Store:          ckStore,
+			Interval:       *ckptInterval,
+			DirtyThreshold: *ckptDirty,
+		}
+		if repl != nil {
+			ckOpt.Sink = repl
+		}
+		ck = serve.NewCheckpointer(srv, ckOpt)
+	}
+	if ckStore != nil {
+		// Hold /readyz false (and replica promotion paused) until the store
+		// replay finishes; recovery runs in the background below so the
+		// liveness endpoint comes up immediately.
+		srv.SetRecovering(true)
+	} else if ck != nil {
+		ck.Start()
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -221,6 +347,29 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	if ckStore != nil {
+		// Replay the checkpoint store with the listener already up: /healthz
+		// answers, /readyz stays 503 until the last session is re-imported.
+		// Sessions a peer promoted while this process was down are skipped
+		// (the live copy outranks our checkpoint) and tombstoned.
+		go func() {
+			t0 := time.Now()
+			rep, err := cluster.Recover(srv, ckStore, *selfURL, peerList, nil, *probeTimeout)
+			if err != nil {
+				log.Printf("recovery: %v", err)
+			}
+			for _, d := range rep.Damaged {
+				log.Printf("recovery: checkpoint damage: %s", d)
+			}
+			log.Printf("recovered %d sessions (%d live on peers, skipped) in %v",
+				rep.Restored, rep.Skipped, time.Since(t0).Round(time.Millisecond))
+			srv.SetRecovering(false)
+			if ck != nil {
+				ck.Start()
+			}
+		}()
+	}
+
 	if *replay > 0 {
 		ropt := serve.ReplayOptions{
 			Clients: *replay,
@@ -261,6 +410,9 @@ func main() {
 		// Graceful exit: flip /readyz first so the load balancer (or the
 		// cluster router) stops sending new work, drain sessions to peers in
 		// backend mode, then let in-flight requests finish under a deadline.
+		// The checkpointer stops AFTER the drain: its final flush sees the
+		// drained-away sessions gone and tombstones them, so a restart of
+		// this node does not resurrect sessions the peers now own.
 		log.Printf("shutting down")
 		srv.BeginDrain()
 		if drainer != nil {
@@ -269,6 +421,17 @@ func main() {
 			} else {
 				log.Printf("drained %d sessions to %d peers (%d failed, %d remaining)",
 					rep.Drained, len(rep.Targets), rep.Failed, rep.Remaining)
+			}
+		}
+		if ck != nil {
+			ck.Stop()
+		}
+		if repl != nil {
+			repl.Stop()
+		}
+		if ckStore != nil {
+			if err := ckStore.Close(); err != nil {
+				log.Printf("checkpoint store close: %v", err)
 			}
 		}
 		shutdown(httpSrv)
@@ -281,21 +444,21 @@ func main() {
 
 // runRouter is the -mode router main loop: a stateless front tier, no
 // policy store, no sessions of its own.
-func runRouter(addr string, backends []string, vnodes int, probeEvery time.Duration, fail func(string, ...any)) {
-	rt := cluster.NewRouter(cluster.RouterOptions{
-		Backends:      backends,
-		VNodes:        vnodes,
-		ProbeInterval: probeEvery,
-	})
+func runRouter(opt cluster.RouterOptions, addr string, inj *chaos.Injector, fail func(string, ...any)) {
+	rt := cluster.NewRouter(opt)
 	rt.Probe()
 	rt.Start()
 	defer rt.Stop()
-	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	var handler http.Handler = rt.Handler()
+	if inj != nil {
+		handler = inj.Middleware(handler)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fail("%v", err)
 	}
-	log.Printf("routing for %d backends on %s (%d ready)", len(backends), ln.Addr(), rt.Ring().Len())
+	log.Printf("routing for %d backends on %s (%d ready)", len(opt.Backends), ln.Addr(), rt.Ring().Len())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)

@@ -1,0 +1,172 @@
+// Package chaos injects deterministic faults into socrm's HTTP and
+// checkpoint paths so failure handling can be tested (and soak-tested
+// under -race) without real crashes.
+//
+// All randomness flows from one seeded source, so a given seed produces
+// the same fault schedule on every run — a failing chaos test reproduces
+// with its seed. Faults are sampled independently per call site:
+//
+//   - Middleware: wraps an http.Handler; injects extra latency, 500
+//     responses, and connection resets (via http.ErrAbortHandler) before
+//     the real handler runs.
+//   - Transport: wraps an http.RoundTripper; injects latency and
+//     synthetic connect errors on the client side.
+//   - TornWrites: a ckpt.Options.MaimWrites hook that truncates a
+//     fraction of checkpoint records mid-record, simulating a crash
+//     during a write.
+//
+// An Injector with a zero Options is inert; every wrapper passes
+// through untouched.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options selects fault probabilities. All probabilities are in [0, 1];
+// zero disables that fault class.
+type Options struct {
+	Seed int64 // deterministic schedule seed (0 = seed 1)
+
+	Latency  time.Duration // extra delay injected when LatencyP fires
+	LatencyP float64       // probability of injecting Latency per request
+
+	ErrorP float64 // probability of replying 500 instead of serving
+	ResetP float64 // probability of aborting the connection mid-request
+	TornP  float64 // probability of tearing a checkpoint record write
+}
+
+// Injector is a seeded fault source. Safe for concurrent use.
+type Injector struct {
+	opt Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	enabled atomic.Bool
+
+	// Injection counters, exposed for tests and logs.
+	Latencies atomic.Uint64
+	Errors    atomic.Uint64
+	Resets    atomic.Uint64
+	Torn      atomic.Uint64
+}
+
+// New builds an Injector. Faults start enabled.
+func New(opt Options) *Injector {
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	in := &Injector{opt: opt, rng: rand.New(rand.NewSource(seed))}
+	in.enabled.Store(true)
+	return in
+}
+
+// SetEnabled toggles all fault injection at runtime; disabled injectors
+// pass everything through (soak tests use this to end the storm phase).
+func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
+
+// Active reports whether any fault class has a nonzero probability.
+func (in *Injector) Active() bool {
+	return in.opt.LatencyP > 0 || in.opt.ErrorP > 0 || in.opt.ResetP > 0 || in.opt.TornP > 0
+}
+
+// roll samples one uniform float from the shared schedule.
+func (in *Injector) roll() float64 {
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v
+}
+
+func (in *Injector) fire(p float64) bool {
+	if p <= 0 || !in.enabled.Load() {
+		return false
+	}
+	return in.roll() < p
+}
+
+// Middleware wraps h with server-side fault injection.
+func (in *Injector) Middleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if in.fire(in.opt.LatencyP) {
+			in.Latencies.Add(1)
+			select {
+			case <-time.After(in.opt.Latency):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if in.fire(in.opt.ResetP) {
+			in.Resets.Add(1)
+			// net/http turns this panic into an immediate connection
+			// close — the client sees a reset/EOF, not a response.
+			panic(http.ErrAbortHandler)
+		}
+		if in.fire(in.opt.ErrorP) {
+			in.Errors.Add(1)
+			http.Error(w, `{"error":"chaos: injected failure"}`, http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Transport wraps rt with client-side fault injection. A nil rt wraps
+// http.DefaultTransport.
+func (in *Injector) Transport(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &transport{in: in, next: rt}
+}
+
+type transport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (t *transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	in := t.in
+	if in.fire(in.opt.LatencyP) {
+		in.Latencies.Add(1)
+		select {
+		case <-time.After(in.opt.Latency):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
+	if in.fire(in.opt.ResetP) {
+		in.Resets.Add(1)
+		return nil, fmt.Errorf("chaos: injected connection reset to %s", r.URL.Host)
+	}
+	return t.next.RoundTrip(r)
+}
+
+// TornWrites returns a ckpt.Options.MaimWrites hook that truncates a
+// TornP fraction of records at a schedule-chosen offset. The store's
+// replay discards the torn record and keeps every intact one, so the
+// only observable effect is a slightly staler checkpoint.
+func (in *Injector) TornWrites() func(record []byte) []byte {
+	return func(record []byte) []byte {
+		if !in.fire(in.opt.TornP) || len(record) < 2 {
+			return record
+		}
+		in.Torn.Add(1)
+		in.mu.Lock()
+		cut := 1 + in.rng.Intn(len(record)-1)
+		in.mu.Unlock()
+		return record[:cut]
+	}
+}
+
+// Counts returns a snapshot of all injection counters.
+func (in *Injector) Counts() (latencies, errors, resets, torn uint64) {
+	return in.Latencies.Load(), in.Errors.Load(), in.Resets.Load(), in.Torn.Load()
+}

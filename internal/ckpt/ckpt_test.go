@@ -1,0 +1,330 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// replayAll reopens nothing; it replays the given store into a map.
+func replayAll(t *testing.T, s *Store) (map[string][]byte, []string) {
+	t.Helper()
+	live := map[string][]byte{}
+	damaged, err := s.Replay(func(id string, snapshot []byte) {
+		live[id] = append([]byte(nil), snapshot...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return live, damaged
+}
+
+// reopen closes the store and opens the same directory fresh — the crash
+// recovery path every test funnels through.
+func reopen(t *testing.T, s *Store) *Store {
+	t.Helper()
+	dir := s.Dir()
+	opt := s.opt
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opt.Dir = dir
+	ns, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns
+}
+
+func TestAppendReplayLastWins(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for _, id := range []string{"a", "b", "c"} {
+			if err := s.Append(id, []byte(fmt.Sprintf("%s-v%d", id, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Delete("c"); err != nil {
+		t.Fatal(err)
+	}
+	s = reopen(t, s)
+	defer s.Close()
+	live, damaged := replayAll(t, s)
+	if len(damaged) != 0 {
+		t.Fatalf("clean store reports damage: %v", damaged)
+	}
+	if len(live) != 2 {
+		t.Fatalf("live = %d sessions, want 2 (c tombstoned)", len(live))
+	}
+	for _, id := range []string{"a", "b"} {
+		if want := id + "-v2"; string(live[id]) != want {
+			t.Fatalf("replay %s = %q, want %q (last record wins)", id, live[id], want)
+		}
+	}
+}
+
+func TestSegmentRollAndCompact(t *testing.T) {
+	// Tiny segments force frequent rolls; the half-garbage trigger then
+	// compacts automatically once superseded versions dominate.
+	s, err := Open(Options{Dir: t.TempDir(), Sync: SyncNone, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	for i := 0; i < 50; i++ {
+		if err := s.Append("hot", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append("cold", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	liveSessions, liveBytes, totalBytes := s.Stats()
+	if liveSessions != 2 {
+		t.Fatalf("live sessions = %d, want 2", liveSessions)
+	}
+	if totalBytes > 4*liveBytes {
+		t.Fatalf("auto-compaction never ran: %d total vs %d live bytes", totalBytes, liveBytes)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(s.Dir(), "seg-*.ckpt"))
+	if len(names) != 2 { // the compacted segment plus the fresh active one
+		t.Fatalf("after compact %d segments remain: %v", len(names), names)
+	}
+	live, damaged := replayAll(t, s)
+	if len(damaged) != 0 || len(live) != 2 || string(live["hot"]) != string(payload) || string(live["cold"]) != "keep" {
+		t.Fatalf("post-compact replay = %d live, damage %v", len(live), damaged)
+	}
+}
+
+// corruptionStore builds a store with a known record sequence across a
+// sealed segment and an active one, then closes it so tests can vandalize
+// the files directly.
+func corruptionStore(t *testing.T) (dir string, ids []string) {
+	t.Helper()
+	dir = t.TempDir()
+	s, err := Open(Options{Dir: dir, Sync: SyncNone, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = []string{"s-1", "s-2", "s-3", "s-4"}
+	for _, id := range ids {
+		if err := s.Append(id, []byte("snapshot of "+id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ids
+}
+
+// lastSegment returns the most recently created non-empty segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.ckpt"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (%v)", dir, err)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		if st, err := os.Stat(names[i]); err == nil && st.Size() > int64(len(segMagic)) {
+			return names[i]
+		}
+	}
+	t.Fatal("no non-empty segment")
+	return ""
+}
+
+// TestCorruptionTruncatedTail: a record torn by a crash mid-write must not
+// take the intact records before it down with it.
+func TestCorruptionTruncatedTail(t *testing.T) {
+	dir, ids := corruptionStore(t)
+	seg := lastSegment(t, dir)
+	st, _ := os.Stat(seg)
+	if err := os.Truncate(seg, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("open after torn tail: %v", err)
+	}
+	defer s.Close()
+	live, damaged := replayAll(t, s)
+	if len(damaged) != 1 || !strings.Contains(damaged[0], "torn") {
+		t.Fatalf("damage report = %v, want one torn-record entry", damaged)
+	}
+	// The torn record is the last append (s-4); everything before survives.
+	for _, id := range ids[:3] {
+		if string(live[id]) != "snapshot of "+id {
+			t.Fatalf("intact record %s lost after torn tail: %q", id, live[id])
+		}
+	}
+	if _, found := live[ids[3]]; found {
+		t.Fatalf("torn record %s replayed anyway", ids[3])
+	}
+}
+
+// TestCorruptionBitFlip: a flipped payload byte fails the record CRC;
+// replay keeps every record before it and reports the damage.
+func TestCorruptionBitFlip(t *testing.T) {
+	dir, ids := corruptionStore(t)
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40 // inside the final record's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	live, damaged := replayAll(t, s)
+	if len(damaged) != 1 || !strings.Contains(damaged[0], "CRC") {
+		t.Fatalf("damage report = %v, want one CRC entry", damaged)
+	}
+	for _, id := range ids[:3] {
+		if string(live[id]) != "snapshot of "+id {
+			t.Fatalf("intact record %s lost after bit flip", id)
+		}
+	}
+	if _, found := live[ids[3]]; found {
+		t.Fatal("bit-flipped record replayed anyway")
+	}
+}
+
+// TestCorruptionMissingSegment: a manifest naming a vanished segment file
+// still recovers every record in the segments that do exist.
+func TestCorruptionMissingSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Sync: SyncNone, SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread records across several segments via tiny roll threshold.
+	for i := 0; i < 12; i++ {
+		if err := s.Append(fmt.Sprintf("s-%d", i), bytes.Repeat([]byte{byte(i)}, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	if err := os.Remove(seg); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(Options{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatalf("open with missing segment: %v", err)
+	}
+	defer s.Close()
+	live, damaged := replayAll(t, s)
+	if len(damaged) != 1 {
+		t.Fatalf("damage report = %v, want exactly the missing segment", damaged)
+	}
+	if len(live) == 0 || len(live) >= 12 {
+		t.Fatalf("replay recovered %d sessions; want the intact prior segments only", len(live))
+	}
+	for id, snap := range live {
+		var i int
+		fmt.Sscanf(id, "s-%d", &i)
+		if !bytes.Equal(snap, bytes.Repeat([]byte{byte(i)}, 80)) {
+			t.Fatalf("recovered record %s corrupted", id)
+		}
+	}
+}
+
+// TestMaimWritesHook: the torn-write fault injector shortens records on
+// disk; recovery still yields every intact prior record. This is the unit
+// contract the chaos package's TornWrites builds on.
+func TestMaimWritesHook(t *testing.T) {
+	dir := t.TempDir()
+	wrote := 0
+	s, err := Open(Options{Dir: dir, Sync: SyncNone, MaimWrites: func(rec []byte) []byte {
+		wrote++
+		if wrote == 3 { // tear the third record in half
+			return rec[:len(rec)/2]
+		}
+		return rec
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := s.Append(fmt.Sprintf("s-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(Options{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	live, damaged := replayAll(t, s)
+	if len(damaged) != 1 {
+		t.Fatalf("damage = %v, want the torn third record", damaged)
+	}
+	if len(live) != 2 {
+		t.Fatalf("recovered %d records, want the 2 intact ones", len(live))
+	}
+}
+
+// TestSyncAlwaysSmoke just exercises the fsync path end to end.
+func TestSyncAlwaysSmoke(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("b", nil); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}
+
+// TestOpenStartsFreshSegment: appends after a reopen must never land in a
+// file whose tail may be torn.
+func TestOpenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	first := lastSegment(t, dir)
+	s = reopen(t, s)
+	defer s.Close()
+	if err := s.Append("b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	second := lastSegment(t, dir)
+	if first == second {
+		t.Fatalf("reopen kept appending to %s", first)
+	}
+}

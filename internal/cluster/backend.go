@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,6 +27,14 @@ type Drainer struct {
 	VNodes int
 	// Client performs the handoff HTTP calls (nil = 10s-timeout client).
 	Client *http.Client
+	// RefusalLimit is how many import refusals a reachable peer may return
+	// during one drain before it is skipped for the rest of the pass
+	// (0 = 3). A peer at its session cap, or drain-gating imports itself,
+	// refuses every session — without the limit each refusal is retried
+	// per session and the drain degenerates to local re-imports.
+	RefusalLimit int
+	// CallTimeout bounds each handoff HTTP call (0 = 5s).
+	CallTimeout time.Duration
 }
 
 // DrainReport summarizes one drain pass.
@@ -48,6 +57,37 @@ func (d *Drainer) client() *http.Client {
 	return &http.Client{Timeout: 10 * time.Second}
 }
 
+func (d *Drainer) callTimeout() time.Duration {
+	if d.CallTimeout > 0 {
+		return d.CallTimeout
+	}
+	return 5 * time.Second
+}
+
+func (d *Drainer) refusalLimit() int {
+	if d.RefusalLimit > 0 {
+		return d.RefusalLimit
+	}
+	return 3
+}
+
+// get performs one deadline-bounded GET.
+func (d *Drainer) get(c *http.Client, url string) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d.callTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
 // readyPeers probes the peer list and returns those answering ready,
 // excluding self.
 func (d *Drainer) readyPeers() []string {
@@ -57,13 +97,7 @@ func (d *Drainer) readyPeers() []string {
 		if p == "" || p == d.Self {
 			continue
 		}
-		resp, err := c.Get(p + "/readyz")
-		if err != nil {
-			continue
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
+		if status, err := d.get(c, p+"/readyz"); err == nil && status == http.StatusOK {
 			up = append(up, p)
 		}
 	}
@@ -87,13 +121,16 @@ func (d *Drainer) Drain() (DrainReport, error) {
 	}
 	ring := NewRing(targets, d.VNodes)
 	c := d.client()
+	// refusals counts import rejections per reachable peer across the whole
+	// pass; a peer past the limit is skipped for every later session.
+	refusals := make(map[string]int, len(targets))
 	for _, id := range d.Server.SessionIDs() {
 		snapData, err := d.Server.DetachSession(id)
 		if err != nil {
 			// Already gone (closed or migrated away concurrently).
 			continue
 		}
-		if d.place(c, ring, id, snapData) {
+		if d.place(c, ring, id, snapData, refusals) {
 			rep.Drained++
 		} else {
 			// Nobody took it: bring it home rather than drop it. The local
@@ -111,17 +148,31 @@ func (d *Drainer) Drain() (DrainReport, error) {
 	return rep, nil
 }
 
-// place imports the snapshot at its ring owner, then at every other target.
-func (d *Drainer) place(c *http.Client, ring *Ring, id string, snapData []byte) bool {
+// place imports the snapshot at its ring owner, then at every other target,
+// skipping peers that already refused refusalLimit imports this pass.
+func (d *Drainer) place(c *http.Client, ring *Ring, id string, snapData []byte, refusals map[string]int) bool {
 	targets := append([]string{ring.Owner(id)}, ring.Nodes()...)
 	tried := map[string]bool{}
+	limit := d.refusalLimit()
 	for _, t := range targets {
-		if t == "" || tried[t] {
+		if t == "" || tried[t] || refusals[t] >= limit {
 			continue
 		}
 		tried[t] = true
-		resp, err := c.Post(t+"/v1/sessions/import", "application/octet-stream", bytes.NewReader(snapData))
+		ctx, cancel := context.WithTimeout(context.Background(), d.callTimeout())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			t+"/v1/sessions/import", bytes.NewReader(snapData))
 		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.Do(req)
+		cancel()
+		if err != nil {
+			// Unreachable counts too: a dead peer should stop eating one
+			// timeout per remaining session.
+			refusals[t]++
 			continue
 		}
 		io.Copy(io.Discard, resp.Body)
@@ -129,6 +180,7 @@ func (d *Drainer) place(c *http.Client, ring *Ring, id string, snapData []byte) 
 		if resp.StatusCode == http.StatusCreated {
 			return true
 		}
+		refusals[t]++
 	}
 	return false
 }

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"socrm/internal/metrics"
+)
+
+// Replicator is the push side of warm-standby replication: it implements
+// serve.ReplicaSink, so a backend's Checkpointer streams every checkpoint
+// record here, and each record is forwarded to the peer that would own the
+// session if this backend died — Owner(id) on a ring built from the peers
+// without self, exactly where the router's failover re-ring will send the
+// session's steps. Per-peer queues are bounded and drop-oldest: a slow or
+// dead standby costs replica freshness (tracked by the staleness gauge),
+// never checkpoint cadence or step latency.
+type ReplicatorOptions struct {
+	// Self is this backend's advertised URL (excluded from targets).
+	Self string
+	// Peers are all backend URLs, self included (it is filtered out).
+	Peers []string
+	// VNodes must match the router's ring construction (<=0 = DefaultVNodes).
+	VNodes int
+	// QueueSize bounds each per-peer queue in records (0 = 256).
+	QueueSize int
+	// Client performs the pushes (nil = 10s-timeout client).
+	Client *http.Client
+	// CallTimeout bounds each push (0 = 5s).
+	CallTimeout time.Duration
+	// Registry receives the replicator's metrics (nil = private registry).
+	Registry *metrics.Registry
+}
+
+type repItem struct {
+	id   string
+	data []byte // nil = tombstone (DELETE)
+	enq  time.Time
+}
+
+// Replicator fans the checkpoint stream out to standby peers.
+type Replicator struct {
+	opt  ReplicatorOptions
+	ring *Ring
+
+	mu       sync.Mutex
+	queues   map[string]chan repItem
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mPushed    *metrics.Counter
+	mErrors    *metrics.Counter
+	mDropped   *metrics.Counter
+	mStaleness *metrics.Gauge
+	mDepth     *metrics.Gauge
+}
+
+// NewReplicator builds a replicator. Call Stop to flush and stop workers.
+func NewReplicator(opt ReplicatorOptions) *Replicator {
+	if opt.QueueSize <= 0 {
+		opt.QueueSize = 256
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if opt.CallTimeout <= 0 {
+		opt.CallTimeout = 5 * time.Second
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	peers := make([]string, 0, len(opt.Peers))
+	for _, p := range opt.Peers {
+		if p != "" && p != opt.Self {
+			peers = append(peers, p)
+		}
+	}
+	r := &Replicator{
+		opt:    opt,
+		ring:   NewRing(peers, opt.VNodes),
+		queues: make(map[string]chan repItem, len(peers)),
+		stop:   make(chan struct{}),
+		mPushed: reg.Counter("socserved_replica_pushed_total",
+			"Replica records pushed to standby peers."),
+		mErrors: reg.Counter("socserved_replica_push_errors_total",
+			"Replica pushes that failed (peer down or refused)."),
+		mDropped: reg.Counter("socserved_replica_queue_dropped_total",
+			"Replica records dropped oldest-first from a full peer queue."),
+		mStaleness: reg.Gauge("socserved_replica_staleness_seconds",
+			"Age of the most recently dropped replica record — how stale the standby may be."),
+		mDepth: reg.Gauge("socserved_replica_queue_depth",
+			"Replica records currently queued across all peers."),
+	}
+	for _, p := range peers {
+		q := make(chan repItem, opt.QueueSize)
+		r.queues[p] = q
+		r.wg.Add(1)
+		go r.worker(p, q)
+	}
+	return r
+}
+
+// Standby returns the peer that holds (or will hold) the replica for id —
+// the session's owner on the ring without self. Empty when no peers exist.
+func (r *Replicator) Standby(id string) string { return r.ring.Owner(id) }
+
+// Push queues one snapshot for the session's standby. Never blocks: a full
+// queue drops its oldest record first (the snapshot being queued is newer
+// by construction).
+func (r *Replicator) Push(id string, data []byte) {
+	r.enqueue(repItem{id: id, data: data, enq: time.Now()})
+}
+
+// Drop queues a tombstone so the standby discards its replica.
+func (r *Replicator) Drop(id string) {
+	r.enqueue(repItem{id: id, enq: time.Now()})
+}
+
+func (r *Replicator) enqueue(it repItem) {
+	target := r.ring.Owner(it.id)
+	if target == "" {
+		return
+	}
+	r.mu.Lock()
+	q, exists := r.queues[target]
+	r.mu.Unlock()
+	if !exists {
+		return
+	}
+	for {
+		select {
+		case q <- it:
+			r.mDepth.Add(1)
+			return
+		default:
+		}
+		select {
+		case old := <-q:
+			r.mDepth.Add(-1)
+			r.mDropped.Inc()
+			r.mStaleness.Set(time.Since(old.enq).Seconds())
+		default:
+		}
+	}
+}
+
+// Stop drains nothing further and stops the workers; queued records are
+// abandoned (they describe state the checkpoint store also holds).
+// Idempotent.
+func (r *Replicator) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+func (r *Replicator) worker(peer string, q chan repItem) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case it := <-q:
+			r.mDepth.Add(-1)
+			r.send(peer, it)
+		}
+	}
+}
+
+func (r *Replicator) send(peer string, it repItem) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opt.CallTimeout)
+	defer cancel()
+	method, path := http.MethodPost, peer+"/v1/replica/"+it.id
+	var body io.Reader
+	if it.data == nil {
+		method = http.MethodDelete
+	} else {
+		body = bytes.NewReader(it.data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, path, body)
+	if err != nil {
+		r.mErrors.Inc()
+		return
+	}
+	if it.data != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := r.opt.Client.Do(req)
+	if err != nil {
+		r.mErrors.Inc()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		r.mPushed.Inc()
+	case http.StatusNotFound:
+		// Deleting a replica the peer never held is a success for our
+		// purposes: the end state (no replica) is what was asked for.
+		if it.data == nil {
+			r.mPushed.Inc()
+			return
+		}
+		r.mErrors.Inc()
+	default:
+		r.mErrors.Inc()
+	}
+}

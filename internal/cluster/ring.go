@@ -18,10 +18,15 @@ import (
 // evenly without weighting machinery.
 const DefaultVNodes = 64
 
-// hash64 is FNV-1a 64, allocation-free. Every participant — router,
-// drainer, tests — must agree on this function and on the vnode key format
-// below, because ownership is computed independently on both sides of a
-// migration.
+// hash64 is FNV-1a 64 with an avalanche finalizer, allocation-free. Every
+// participant — router, drainer, replicator, tests — must agree on this
+// function and on the vnode key format below, because ownership is computed
+// independently on both sides of a migration.
+//
+// The finalizer (murmur3 fmix64) matters: raw FNV-1a of two keys differing
+// only in the trailing characters differs by roughly delta*prime ≈ 2^40 —
+// a rounding error on a 2^64 ring — so sequentially assigned ids ("r-1",
+// "r-2", ...) would all fall on one arc and pile onto a single backend.
 func hash64(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -32,6 +37,11 @@ func hash64(s string) uint64 {
 		h ^= uint64(s[i])
 		h *= prime64
 	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }
 

@@ -2,13 +2,17 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"socrm/internal/metrics"
@@ -27,6 +31,26 @@ type RouterOptions struct {
 	// Client performs all backend HTTP calls (nil = a dedicated client with
 	// a 10s timeout).
 	Client *http.Client
+	// CallTimeout bounds every forwarded backend call (0 = 5s). One hung
+	// backend must cost one deadline, never a wedged front tier.
+	CallTimeout time.Duration
+	// ProbeTimeout bounds each readiness probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// Retries is how many times a failed call is retried with jittered
+	// exponential backoff (0 = 2; negative = no retries). Non-idempotent
+	// calls (steps, creates, imports) retry only when the connection was
+	// refused outright — a request the backend never received cannot have
+	// been acted on twice.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry, doubling per
+	// attempt with up-to-50% jitter (0 = 25ms).
+	RetryBackoff time.Duration
+	// FailAfter is how many consecutive probe transport failures mark a
+	// ready backend failed (0 = 3). A backend that *answers* 503 is
+	// deliberately unready (draining, recovering) and is removed on the
+	// first probe; FailAfter only debounces silent failures, where one
+	// dropped packet should not trigger a rebalance storm.
+	FailAfter int
 }
 
 // Router is the session-affine front tier: it consistent-hash-routes
@@ -37,10 +61,15 @@ type RouterOptions struct {
 // that races a migration retries where the session actually is instead of
 // surfacing an error.
 type Router struct {
-	backends []string
-	vnodes   int
-	interval time.Duration
-	client   *http.Client
+	backends     []string
+	vnodes       int
+	interval     time.Duration
+	client       *http.Client
+	callTimeout  time.Duration
+	probeTimeout time.Duration
+	retries      int
+	retryBackoff time.Duration
+	failAfter    int
 
 	// ring is the current ownership map, swapped whole on membership change;
 	// the proxy hot path loads it with one atomic read.
@@ -49,6 +78,9 @@ type Router struct {
 	// mu serializes probing/rebalancing (slow path only).
 	mu    sync.Mutex
 	ready map[string]bool
+	// failCount tracks consecutive silent probe failures per backend
+	// (guarded by mu); reaching failAfter marks the backend failed.
+	failCount map[string]int
 
 	// relocations overrides ring ownership per session id while placement
 	// and ring disagree (mid-drain, mid-rebalance, off-owner create).
@@ -67,6 +99,9 @@ type Router struct {
 	mFailedHandoffs  *metrics.Counter
 	mRelocations     *metrics.Counter
 	mRebalance       *metrics.Histogram
+	mRetries         *metrics.Counter
+	mPromotions      *metrics.Counter
+	mPromotionsStale *metrics.Counter
 	backendGaugesMu  sync.Mutex
 	mBackendSessions map[string]*metrics.Gauge
 }
@@ -83,15 +118,38 @@ func NewRouter(opt RouterOptions) *Router {
 	if opt.Client == nil {
 		opt.Client = &http.Client{Timeout: 10 * time.Second}
 	}
+	if opt.CallTimeout <= 0 {
+		opt.CallTimeout = 5 * time.Second
+	}
+	if opt.ProbeTimeout <= 0 {
+		opt.ProbeTimeout = 2 * time.Second
+	}
+	if opt.Retries == 0 {
+		opt.Retries = 2
+	} else if opt.Retries < 0 {
+		opt.Retries = 0
+	}
+	if opt.RetryBackoff <= 0 {
+		opt.RetryBackoff = 25 * time.Millisecond
+	}
+	if opt.FailAfter <= 0 {
+		opt.FailAfter = 3
+	}
 	reg := metrics.NewRegistry()
 	rt := &Router{
-		backends: append([]string(nil), opt.Backends...),
-		vnodes:   opt.VNodes,
-		interval: opt.ProbeInterval,
-		client:   opt.Client,
-		ready:    map[string]bool{},
-		stop:     make(chan struct{}),
-		reg:      reg,
+		backends:     append([]string(nil), opt.Backends...),
+		vnodes:       opt.VNodes,
+		interval:     opt.ProbeInterval,
+		client:       opt.Client,
+		callTimeout:  opt.CallTimeout,
+		probeTimeout: opt.ProbeTimeout,
+		retries:      opt.Retries,
+		retryBackoff: opt.RetryBackoff,
+		failAfter:    opt.FailAfter,
+		ready:        map[string]bool{},
+		failCount:    map[string]int{},
+		stop:         make(chan struct{}),
+		reg:          reg,
 		mReady: reg.Gauge("socrouted_backends_ready",
 			"Backends currently passing the readiness probe."),
 		mProxied: reg.Counter("socrouted_proxied_requests_total",
@@ -106,6 +164,12 @@ func NewRouter(opt RouterOptions) *Router {
 			"Sessions found off their ring owner and re-pinned by probing."),
 		mRebalance: reg.Histogram("socrouted_rebalance_seconds",
 			"Wall time of each topology-change rebalance."),
+		mRetries: reg.Counter("socrouted_retries_total",
+			"Backend calls retried after a transport failure or 5xx."),
+		mPromotions: reg.Counter("socrouted_promotions_total",
+			"Replica promotions observed on forwarded steps (backend header)."),
+		mPromotionsStale: reg.Counter("socrouted_promotions_stale_total",
+			"Promotions whose replica exceeded the backend's staleness bound."),
 		mBackendSessions: map[string]*metrics.Gauge{},
 	}
 	rt.ring.Store(NewRing(nil, opt.VNodes))
@@ -152,7 +216,23 @@ func (rt *Router) Probe() bool {
 	changed := false
 	readyCount := 0
 	for _, b := range rt.backends {
-		up := rt.probeOne(b)
+		up, responded := rt.probeOne(b)
+		switch {
+		case up:
+			rt.failCount[b] = 0
+		case responded:
+			// A live process answering not-ready (draining, recovering) is
+			// authoritative: remove it now, no debounce.
+			rt.failCount[b] = 0
+		default:
+			// Silent failure (refused, timeout): a ready backend keeps its
+			// status until failAfter consecutive misses, so one dropped
+			// probe doesn't trigger a migration storm.
+			rt.failCount[b]++
+			if rt.ready[b] && rt.failCount[b] < rt.failAfter {
+				up = true
+			}
+		}
 		if up {
 			readyCount++
 		}
@@ -174,37 +254,52 @@ func (rt *Router) Probe() bool {
 	}
 	ring := NewRing(nodes, rt.vnodes)
 	rt.ring.Store(ring)
+	// Relocation pins pointing at a removed backend would misroute until
+	// their next miss; purge them so the ring (and its failover owner)
+	// takes over immediately.
+	rt.relocations.Range(func(k, v any) bool {
+		if !ring.Has(v.(string)) {
+			rt.relocations.Delete(k)
+		}
+		return true
+	})
 	rt.rebalanceLocked(ring)
 	rt.updateBackendGauges()
 	return true
 }
 
-// probeOne reports whether one backend answers ready.
-func (rt *Router) probeOne(backend string) bool {
-	resp, err := rt.client.Get(backend + "/readyz")
+// probeOne checks one backend's /readyz under the probe deadline. up is
+// whether it answered ready; responded is whether any HTTP response came
+// back at all (false = silent failure: refused, reset, timed out).
+func (rt *Router) probeOne(backend string) (up, responded bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+"/readyz", nil)
 	if err != nil {
-		return false
+		return false, false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return resp.StatusCode == http.StatusOK, true
 }
 
 // sessionsOf lists a backend's live sessions.
 func (rt *Router) sessionsOf(backend string) ([]string, error) {
-	resp, err := rt.client.Get(backend + "/admin/sessions")
+	data, status, err := rt.do(http.MethodGet, backend, "/admin/sessions", nil, "")
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return nil, fmt.Errorf("%s: listing sessions: %s", backend, resp.Status)
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("%s: listing sessions: %d", backend, status)
 	}
 	var list struct {
 		Sessions []string `json:"sessions"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+	if err := json.Unmarshal(data, &list); err != nil {
 		return nil, err
 	}
 	return list.Sessions, nil
@@ -249,7 +344,16 @@ func (rt *Router) migrate(id, from, to string, ring *Ring) {
 			continue
 		}
 		_, status, err = rt.do(http.MethodPost, t, "/v1/sessions/import", snapData, "application/octet-stream")
-		if err == nil && (status == http.StatusCreated || status == http.StatusConflict) {
+		if err == nil && status == http.StatusConflict {
+			// The target already hosts this id — typically a replica it
+			// promoted while the source was unreachable. Keep whichever copy
+			// has stepped further (last-writer-wins on step count).
+			if !rt.resolveConflict(t, id, snapData) {
+				continue
+			}
+			status = http.StatusCreated
+		}
+		if err == nil && status == http.StatusCreated {
 			rt.mMigrations.Inc()
 			if t == ring.Owner(id) {
 				rt.relocations.Delete(id)
@@ -265,6 +369,34 @@ func (rt *Router) migrate(id, from, to string, ring *Ring) {
 		return
 	}
 	rt.mFailedHandoffs.Inc()
+}
+
+// resolveConflict settles an import 409: backend already hosts id, and the
+// router holds a detached snapshot of the same session. The copy with more
+// steps wins. Returns true when the session on backend ends up current
+// (either it already was, or the snapshot replaced it).
+func (rt *Router) resolveConflict(backend, id string, snapData []byte) bool {
+	_, snapSteps, err := serve.SnapshotMeta(snapData)
+	if err != nil {
+		// Unreadable snapshot can't outrank a live session.
+		return true
+	}
+	data, status, err := rt.do(http.MethodGet, backend, "/v1/sessions/"+id, nil, "")
+	if err != nil || status != http.StatusOK {
+		return false
+	}
+	var info struct {
+		Steps uint64 `json:"steps"`
+	}
+	if json.Unmarshal(data, &info) != nil || info.Steps >= snapSteps {
+		return true
+	}
+	// The detached snapshot is strictly newer: replace the resident copy.
+	if _, status, err := rt.do(http.MethodDelete, backend, "/v1/sessions/"+id, nil, ""); err != nil || status != http.StatusOK {
+		return false
+	}
+	_, status, err = rt.do(http.MethodPost, backend, "/v1/sessions/import", snapData, "application/octet-stream")
+	return err == nil && status == http.StatusCreated
 }
 
 // updateBackendGauges refreshes the per-backend session-count gauges.
@@ -294,13 +426,61 @@ func (rt *Router) backendGauge(backend string) *metrics.Gauge {
 	return g
 }
 
-// do performs one backend call and returns the response body and status.
+// do performs one backend call under the router's retry/timeout/backoff
+// discipline and returns the response body and status. Every attempt runs
+// under its own callTimeout deadline. Retry policy:
+//
+//   - Idempotent calls (GET, DELETE) retry on any transport error and on
+//     5xx responses.
+//   - Non-idempotent calls (POST steps, creates, imports) retry ONLY when
+//     the connection was refused — the request provably never reached a
+//     backend, so it cannot have been applied twice. A timeout or a 5xx on
+//     a step is ambiguous (the decision may already be acked into learner
+//     state) and is surfaced, not replayed.
 func (rt *Router) do(method, backend, path string, body []byte, contentType string) ([]byte, int, error) {
+	idempotent := method == http.MethodGet || method == http.MethodDelete
+	var (
+		data    []byte
+		status  int
+		lastErr error
+	)
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			rt.mRetries.Inc()
+			time.Sleep(retryDelay(rt.retryBackoff, attempt))
+		}
+		data, status, lastErr = rt.doOnce(method, backend, path, body, contentType)
+		if lastErr != nil {
+			refused := errors.Is(lastErr, syscall.ECONNREFUSED)
+			if attempt < rt.retries && (idempotent || refused) {
+				continue
+			}
+			return nil, 0, lastErr
+		}
+		if status >= 500 && idempotent && attempt < rt.retries {
+			continue
+		}
+		return data, status, nil
+	}
+}
+
+// retryDelay is the jittered exponential backoff before retry n (1-based):
+// base·2^(n-1) plus up to 50% jitter, so synchronized retries from many
+// in-flight calls spread out instead of stampeding a recovering backend.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// doOnce is a single deadline-bounded backend call.
+func (rt *Router) doOnce(method, backend, path string, body []byte, contentType string) ([]byte, int, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, backend+path, rd)
+	ctx, cancel := context.WithTimeout(context.Background(), rt.callTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, backend+path, rd)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -317,6 +497,15 @@ func (rt *Router) do(method, backend, path string, body []byte, contentType stri
 	if err != nil {
 		rt.mProxyErrors.Inc()
 		return nil, 0, err
+	}
+	// A backend that just promoted a warm-standby replica says so in a
+	// response header; counting here gives the cluster-wide promotion view
+	// without an extra round trip.
+	if resp.Header.Get(serve.HeaderPromoted) == "1" {
+		rt.mPromotions.Inc()
+		if resp.Header.Get(serve.HeaderPromotedStale) == "1" {
+			rt.mPromotionsStale.Inc()
+		}
 	}
 	rt.mProxied.Inc()
 	return data, resp.StatusCode, nil

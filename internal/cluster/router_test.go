@@ -368,8 +368,14 @@ func TestRouterMigratesOnTopologyChange(t *testing.T) {
 	dead := backends[2]
 	lost := dead.srv.SessionCount()
 	dead.ts.Close()
-	if !rt.Probe() {
-		t.Fatal("probe did not notice the dead backend")
+	// A silent death (connection refused, no 503) is debounced: the router
+	// marks the backend failed only after FailAfter consecutive misses.
+	changed := false
+	for i := 0; i < 3 && !changed; i++ {
+		changed = rt.Probe()
+	}
+	if !changed {
+		t.Fatal("probe did not notice the dead backend within the failure threshold")
 	}
 	ring := rt.Ring()
 	if ring.Has(dead.ts.URL) {

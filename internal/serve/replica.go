@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"socrm/internal/metrics"
+)
+
+// Warm-standby replication, receive side. A backend's checkpoint stream is
+// pushed to the ring node that would own each session if the pusher died
+// (POST /v1/replica/{id}); the receiver parks the raw snapshot bytes here
+// without importing them. When a step arrives for a session this backend
+// does not host but holds a replica of, the replica is promoted — imported
+// through the ordinary snapshot path — and the step proceeds. Promotion
+// happens only on step (POST) traffic: GET lookups must stay side-effect
+// free because the router's locate() probes every backend while a session
+// is legitimately alive elsewhere mid-handoff.
+
+// Response headers a backend sets when a step triggered a replica
+// promotion. The router counts these to expose cluster-wide promotion
+// totals without a second round trip.
+const (
+	HeaderPromoted      = "X-Socrm-Promoted"
+	HeaderPromotedStale = "X-Socrm-Promoted-Stale"
+)
+
+// replica is one parked snapshot.
+type replica struct {
+	data []byte
+	at   time.Time // local receive time; staleness is judged against this
+}
+
+// replicaStore holds parked snapshots keyed by session id. Lookups happen
+// only on the session-miss path, so a plain mutex is plenty.
+type replicaStore struct {
+	mu sync.Mutex
+	m  map[string]replica
+
+	mHeld          *metrics.Gauge
+	mBytes         *metrics.Gauge
+	mReceived      *metrics.Counter
+	mPromoted      *metrics.Counter
+	mPromotedStale *metrics.Counter
+	mPromoteErrors *metrics.Counter
+}
+
+func newReplicaStore(reg *metrics.Registry) *replicaStore {
+	return &replicaStore{
+		m: make(map[string]replica),
+		mHeld: reg.Gauge("socserved_replicas_held",
+			"Warm-standby session replicas currently parked on this backend."),
+		mBytes: reg.Gauge("socserved_replicas_bytes",
+			"Total bytes of parked session replicas."),
+		mReceived: reg.Counter("socserved_replicas_received_total",
+			"Replica snapshots received from peers since start."),
+		mPromoted: reg.Counter("socserved_replica_promotions_total",
+			"Replicas promoted to live sessions on first step after an owner died."),
+		mPromotedStale: reg.Counter("socserved_replica_promotions_stale_total",
+			"Promotions whose replica was older than the staleness bound."),
+		mPromoteErrors: reg.Counter("socserved_replica_promotion_errors_total",
+			"Replica promotions that failed to import."),
+	}
+}
+
+func (rs *replicaStore) put(id string, data []byte) {
+	rs.mu.Lock()
+	prev, had := rs.m[id]
+	rs.m[id] = replica{data: data, at: time.Now()}
+	if !had {
+		rs.mHeld.Add(1)
+	} else {
+		rs.mBytes.Add(-float64(len(prev.data)))
+	}
+	rs.mBytes.Add(float64(len(data)))
+	rs.mu.Unlock()
+	rs.mReceived.Inc()
+}
+
+func (rs *replicaStore) drop(id string) bool {
+	rs.mu.Lock()
+	prev, had := rs.m[id]
+	if had {
+		delete(rs.m, id)
+		rs.mHeld.Add(-1)
+		rs.mBytes.Add(-float64(len(prev.data)))
+	}
+	rs.mu.Unlock()
+	return had
+}
+
+// take removes and returns the replica for id, if any. The caller owns the
+// bytes; a failed promotion does not put them back (reimporting bytes that
+// already failed would loop forever).
+func (rs *replicaStore) take(id string) (replica, bool) {
+	rs.mu.Lock()
+	rep, ok := rs.m[id]
+	if ok {
+		delete(rs.m, id)
+		rs.mHeld.Add(-1)
+		rs.mBytes.Add(-float64(len(rep.data)))
+	}
+	rs.mu.Unlock()
+	return rep, ok
+}
+
+func (rs *replicaStore) ids() []string {
+	rs.mu.Lock()
+	out := make([]string, 0, len(rs.m))
+	for id := range rs.m {
+		out = append(out, id)
+	}
+	rs.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// PutReplica parks a snapshot as a warm standby for id. It does not touch
+// the live session registry.
+func (s *Server) PutReplica(id string, data []byte) {
+	s.replicas.put(id, data)
+}
+
+// DropReplica discards a parked replica (the owner closed the session).
+func (s *Server) DropReplica(id string) bool { return s.replicas.drop(id) }
+
+// ReplicaCount returns how many replicas are parked.
+func (s *Server) ReplicaCount() int {
+	s.replicas.mu.Lock()
+	defer s.replicas.mu.Unlock()
+	return len(s.replicas.m)
+}
+
+// promoteForStep adopts the parked replica for id, if one exists, and
+// returns the now-live session. Called only after a registry miss on a
+// step path; GET paths must never promote (see package comment above).
+// Returns promoted=false when there was nothing to promote or the import
+// lost a race (sess may still be non-nil in the race case).
+func (s *Server) promoteForStep(id string) (sess *Session, promoted, stale bool) {
+	if s.draining.Load() || s.recovering.Load() {
+		return nil, false, false
+	}
+	rep, ok := s.replicas.take(id)
+	if !ok {
+		return nil, false, false
+	}
+	stale = s.replicaStaleAfter > 0 && time.Since(rep.at) > s.replicaStaleAfter
+	if _, err := s.ImportSession(rep.data); err != nil {
+		if statusOf(err) == http.StatusConflict {
+			// Lost a race with a concurrent import/promotion; the session is
+			// live — serve it, credit the promotion to the winner.
+			return s.sessions.get(id), false, false
+		}
+		s.replicas.mPromoteErrors.Inc()
+		return nil, false, false
+	}
+	s.replicas.mPromoted.Inc()
+	if stale {
+		s.replicas.mPromotedStale.Inc()
+	}
+	return s.sessions.get(id), true, stale
+}
+
+// ---- HTTP layer ----
+
+// handleReplicaPut serves POST /v1/replica/{id}: park a snapshot pushed by
+// the session's current owner. Accepted even while draining — replicas are
+// not admission, they only matter if this node outlives the pusher.
+func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" || len(id) > maxSessionID {
+		writeError(w, http.StatusBadRequest, "bad replica id")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxStepBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading snapshot: %v", err)
+		return
+	}
+	if len(data) > maxStepBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes", maxStepBody)
+		return
+	}
+	// Cheap sanity check before parking: a torn push must not become a
+	// failed promotion at the worst possible moment.
+	metaID, _, err := SnapshotMeta(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if metaID != id {
+		writeError(w, http.StatusBadRequest, "snapshot is for session %q, not %q", metaID, id)
+		return
+	}
+	s.PutReplica(id, data)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReplicaDelete serves DELETE /v1/replica/{id}.
+func (s *Server) handleReplicaDelete(w http.ResponseWriter, r *http.Request) {
+	if s.DropReplica(r.PathValue("id")) {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no replica %q", r.PathValue("id"))
+}
+
+// replicaList is the body of GET /admin/replicas.
+type replicaList struct {
+	Replicas []string `json:"replicas"`
+}
+
+// handleReplicaList serves GET /admin/replicas: ids of parked replicas.
+func (s *Server) handleReplicaList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, replicaList{Replicas: s.replicas.ids()})
+}

@@ -55,6 +55,12 @@ type Options struct {
 	// per-session semantics of synchronous mode). Only meaningful with
 	// TrainWorkers > 0.
 	CrossBatch int
+	// ReplicaStaleAfter bounds how old a parked replica may be before its
+	// promotion counts as stale in metrics (0 = default 5s, negative =
+	// never stale). Promotion proceeds either way — a stale learner beats
+	// a cold-started one — the counter exists so operators can see when
+	// the checkpoint interval is too coarse for their failure rate.
+	ReplicaStaleAfter time.Duration
 }
 
 // Server is the governor-as-a-service HTTP daemon state.
@@ -72,6 +78,15 @@ type Server struct {
 	// graceful shutdown begins; existing sessions keep stepping so they can
 	// be handed off one at a time.
 	draining atomic.Bool
+
+	// recovering holds /readyz false (and pauses replica promotion) while
+	// a restarted backend replays its checkpoint store.
+	recovering atomic.Bool
+
+	// replicas parks warm-standby snapshots pushed by peers; a step for a
+	// parked id promotes it to a live session (replica.go).
+	replicas          *replicaStore
+	replicaStaleAfter time.Duration
 
 	// trainers is the background training pool; nil in synchronous mode.
 	trainers   *trainerPool
@@ -99,15 +114,20 @@ func New(opt Options) *Server {
 	if opt.MaxSessions <= 0 {
 		opt.MaxSessions = 1024
 	}
+	if opt.ReplicaStaleAfter == 0 {
+		opt.ReplicaStaleAfter = 5 * time.Second
+	}
 	reg := metrics.NewRegistry()
 	srv := &Server{
-		p:           opt.Platform,
-		store:       opt.Store,
-		models:      opt.Models,
-		maxSessions: opt.MaxSessions,
-		seedBase:    opt.SeedBase,
-		sessions:    newRegistry(opt.Shards, opt.MaxSessions),
-		reg:         reg,
+		p:                 opt.Platform,
+		store:             opt.Store,
+		models:            opt.Models,
+		maxSessions:       opt.MaxSessions,
+		seedBase:          opt.SeedBase,
+		sessions:          newRegistry(opt.Shards, opt.MaxSessions),
+		reg:               reg,
+		replicas:          newReplicaStore(reg),
+		replicaStaleAfter: opt.ReplicaStaleAfter,
 		mSessionsActive: reg.Gauge("socserved_sessions_active",
 			"Governor sessions currently open."),
 		mSessionsTotal: reg.Counter("socserved_sessions_created_total",
@@ -362,6 +382,9 @@ func (s *Server) stepSequence(id string, steps []StepTelemetry, resp *StepRespon
 	}
 	sess := s.sessions.get(id)
 	if sess == nil {
+		sess, _, _ = s.promoteForStep(id)
+	}
+	if sess == nil {
 		s.mStepErrors.Inc()
 		return apiErrorf(http.StatusNotFound, "no session %q", id)
 	}
@@ -384,6 +407,9 @@ func (s *Server) stepSequence(id string, steps []StepTelemetry, resp *StepRespon
 // configuration plus the session's step count.
 func (s *Server) Step(id string, t *StepTelemetry) (soc.Config, uint64, error) {
 	sess := s.sessions.get(id)
+	if sess == nil {
+		sess, _, _ = s.promoteForStep(id)
+	}
 	if sess == nil {
 		s.mStepErrors.Inc()
 		return soc.Config{}, 0, apiErrorf(http.StatusNotFound, "no session %q", id)
@@ -411,6 +437,11 @@ func (s *Server) StepBatch(entries []BatchEntry, results []BatchResult) []BatchR
 		res.Status = StepOK
 		res.Error = ""
 		sess := s.sessions.getBytes(e.Session)
+		if sess == nil {
+			// Miss path only: the string conversion allocates, but a miss is
+			// already off the zero-alloc contract (it writes an error field).
+			sess, _, _ = s.promoteForStep(string(e.Session))
+		}
 		if sess == nil {
 			s.mStepErrors.Inc()
 			res.Session = string(e.Session)
@@ -480,6 +511,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/sessions/{id}/detach", s.handleDetach)
 	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
+	mux.HandleFunc("POST /v1/replica/{id}", s.handleReplicaPut)
+	mux.HandleFunc("DELETE /v1/replica/{id}", s.handleReplicaDelete)
+	mux.HandleFunc("GET /admin/replicas", s.handleReplicaList)
 	mux.HandleFunc("GET /admin/sessions", s.handleSessionList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
@@ -497,6 +531,10 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.recovering.Load() {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
 		return
 	}
 	if s.store != nil && s.store.Generation() == 0 {
@@ -782,6 +820,19 @@ func (scr *stepScratch) resetBatch() {
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess := s.sessions.get(id)
+	if sess == nil {
+		// Registry miss: this may be a failed-over step for a session whose
+		// owner died and whose warm-standby replica is parked here.
+		var promoted, stale bool
+		sess, promoted, stale = s.promoteForStep(id)
+		if promoted {
+			h := w.Header()
+			h.Set(HeaderPromoted, "1")
+			if stale {
+				h.Set(HeaderPromotedStale, "1")
+			}
+		}
+	}
 	if sess == nil {
 		s.mStepErrors.Inc()
 		writeError(w, http.StatusNotFound, "no session %q", id)
