@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -821,22 +822,35 @@ func BenchmarkSessionExport(b *testing.B) {
 }
 
 // BenchmarkSessionImport measures the restore half: decode + session
-// rebuild + registry insert (and the matching delete so the id stays free).
+// rebuild + registry insert. Epoch fencing makes importing the same
+// envelope twice a 409 by design (that's two routers racing one failover),
+// so each iteration detaches the restored session outside the timer to
+// mint the next-epoch envelope — the real handoff cycle, with only the
+// import inside the measurement.
 func BenchmarkSessionImport(b *testing.B) {
 	srv, _ := benchServer(b)
-	id, data := snapshotBenchSession(b, srv)
-	if _, err := srv.CloseSession(id); err != nil {
+	id, _ := snapshotBenchSession(b, srv)
+	data, err := srv.DetachSession(id)
+	if err != nil {
 		b.Fatal(err)
 	}
+	defer srv.CloseSession(id)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := srv.ImportSession(data); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := srv.CloseSession(id); err != nil {
+		b.StopTimer()
+		out, err := srv.DetachSession(id)
+		if err != nil {
 			b.Fatal(err)
 		}
+		data = out
+		b.StartTimer()
+	}
+	if _, err := srv.ImportSession(data); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -937,7 +951,7 @@ func BenchmarkReplicaPush(b *testing.B) {
 	settled := func() float64 {
 		return reg.Counter("socserved_replica_pushed_total", "").Value() +
 			reg.Counter("socserved_replica_push_errors_total", "").Value() +
-			reg.Counter("socserved_replica_queue_dropped_total", "").Value()
+			reg.Meter("socserved_replica_queue_dropped_total", "").Value()
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -949,5 +963,107 @@ func BenchmarkReplicaPush(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(data)), "snapshot_bytes")
-	b.ReportMetric(reg.Counter("socserved_replica_queue_dropped_total", "").Value(), "dropped")
+	b.ReportMetric(reg.Meter("socserved_replica_queue_dropped_total", "").Value(), "dropped")
+}
+
+// ---- PR9: overload/degradation benchmarks ----
+
+// BenchmarkRouterStepUnderShedding measures the router's 429 fast path: one
+// parked request holds the only admission slot, so every timed request is
+// shed. The shed answer is the degradation contract — it must cost
+// microseconds and nearly nothing in allocations, because it is exactly what
+// the router does when it can least afford extra work.
+func BenchmarkRouterStepUnderShedding(b *testing.B) {
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/step") {
+			<-release // park: the admission slot stays held
+		}
+		_, _ = w.Write([]byte("{}"))
+	}))
+	defer backend.Close()
+	rt := cluster.NewRouter(cluster.RouterOptions{
+		Backends:    []string{backend.URL},
+		MaxInflight: 1,
+		CallTimeout: time.Minute,
+	})
+	defer rt.Stop()
+	rt.Probe()
+	h := rt.Handler()
+
+	_, tel := benchServer(b)
+	body, _ := json.Marshal(serve.StepRequest{StepTelemetry: tel})
+	go func() {
+		rb := &reusableBody{}
+		rb.r.Reset(body)
+		req := httptest.NewRequest(http.MethodPost, "/v1/sessions/r-0/step", rb)
+		h.ServeHTTP(&discardResponseWriter{}, req)
+	}()
+	inflight := rt.Metrics().Gauge("socrouted_step_inflight", "")
+	for inflight.Value() < 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	stepReq := httptest.NewRequest(http.MethodPost, "/v1/sessions/r-0/step", nil)
+	rb := &reusableBody{}
+	dw := &discardResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.r.Reset(body)
+		stepReq.Body = rb
+		h.ServeHTTP(dw, stepReq)
+	}
+	b.StopTimer()
+	if shed := rt.Metrics().Meter("socrouted_step_shed_total", "").Value(); shed < float64(b.N) {
+		b.Fatalf("only %g of %d requests were shed", shed, b.N)
+	}
+	close(release)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sheds/sec")
+}
+
+// BenchmarkReplicaFanout measures the K-standby replication pipeline
+// (Fanout=2 over three peers): every push enqueues on two per-peer queues,
+// and timing waits until each copy settles (pushed, dropped, or errored).
+// Compare against BenchmarkReplicaPush (Fanout=1 semantics) for the cost of
+// the second standby.
+func BenchmarkReplicaFanout(b *testing.B) {
+	discard := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = io.Copy(io.Discard, r.Body)
+			w.WriteHeader(http.StatusNoContent)
+		}))
+	}
+	peer1, peer2, peer3 := discard(), discard(), discard()
+	defer peer1.Close()
+	defer peer2.Close()
+	defer peer3.Close()
+	srv, _ := benchServer(b)
+	id, data := snapshotBenchSession(b, srv)
+	defer srv.CloseSession(id)
+	reg := metrics.NewRegistry()
+	repl := cluster.NewReplicator(cluster.ReplicatorOptions{
+		Self:      "http://self",
+		Peers:     []string{"http://self", peer1.URL, peer2.URL, peer3.URL},
+		Fanout:    2,
+		QueueSize: 1024,
+		Registry:  reg,
+	})
+	defer repl.Stop()
+	settled := func() float64 {
+		return reg.Counter("socserved_replica_pushed_total", "").Value() +
+			reg.Counter("socserved_replica_push_errors_total", "").Value() +
+			reg.Meter("socserved_replica_queue_dropped_total", "").Value()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repl.Push(id, data)
+	}
+	for settled() < float64(2*b.N) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(data)), "snapshot_bytes")
+	b.ReportMetric(reg.Meter("socserved_replica_queue_dropped_total", "").Value(), "dropped")
 }

@@ -53,6 +53,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -80,14 +81,22 @@ func main() {
 	ckptInterval := flag.Duration("ckpt-interval", time.Second, "checkpoint flush cadence; a crash loses at most this much progress per session")
 	ckptDirty := flag.Int("ckpt-dirty", 0, "flush early once this many sessions have uncheckpointed steps (0 = interval-only)")
 	ckptSync := flag.String("ckpt-sync", "always", "checkpoint fsync policy: always | none")
-	replicate := flag.Bool("replicate", true, "backend mode: push checkpoint records to each session's ring-successor standby")
+	replicate := flag.Bool("replicate", true, "backend mode: push checkpoint records to each session's ring-successor standbys")
 	replicaQueue := flag.Int("replica-queue", 0, "per-peer replica queue in records; a full queue drops oldest (0 = 256)")
+	replicaK := flag.Int("replica-k", 0, "backend: ring-successor standbys per session; survives K-1 standby failures (0 = 2)")
+	weightsFlag := flag.String("weights", "", "router: per-backend capacity weights as url=w pairs, comma-separated (missing = 1)")
+	loadBound := flag.Float64("load-bound", 0, "router: bounded-load factor c — a backend takes new sessions only within c x its weighted fair share (<=1 = pure consistent hashing)")
+	routerInstance := flag.String("router-instance", "", "router: instance tag baked into assigned session ids; must differ across an active-active router tier")
+	maxInflight := flag.Int("max-inflight", 0, "admission bound on concurrent step/batch requests; beyond it -max-queue more wait briefly, the rest shed with 429 (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "requests allowed to wait for an admission slot once -max-inflight is saturated (0 = immediate shed)")
+	queueWait := flag.Duration("queue-wait", 0, "how long a queued request waits for an admission slot before shedding (0 = 100ms)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection schedule seed (deterministic per seed)")
 	chaosLatency := flag.Duration("chaos-latency", 0, "chaos: extra latency injected when -chaos-latency-p fires")
 	chaosLatencyP := flag.Float64("chaos-latency-p", 0, "chaos: probability of injecting -chaos-latency per request")
 	chaosErrorP := flag.Float64("chaos-error-p", 0, "chaos: probability of answering 500 instead of serving")
 	chaosResetP := flag.Float64("chaos-reset-p", 0, "chaos: probability of dropping the connection mid-request")
 	chaosTornP := flag.Float64("chaos-torn-p", 0, "chaos: probability of tearing a checkpoint record mid-write")
+	chaosPartition := flag.String("chaos-partition", "", "chaos: comma-separated destinations (URLs or host:port) this process cannot reach — one side of an asymmetric partition")
 	policyFile := flag.String("policy-file", "", "persisted policy file (mlp or tree); empty = governor policies only")
 	bootstrap := flag.Bool("bootstrap", false, "train and write a quick policy to -policy-file if it does not exist")
 	seed := flag.Int64("seed", 42, "seed for bootstrap training, model warm-start and session decorrelation")
@@ -124,7 +133,7 @@ func main() {
 		}
 	}
 	var inj *chaos.Injector
-	if *chaosLatencyP > 0 || *chaosErrorP > 0 || *chaosResetP > 0 || *chaosTornP > 0 {
+	if *chaosLatencyP > 0 || *chaosErrorP > 0 || *chaosResetP > 0 || *chaosTornP > 0 || *chaosPartition != "" {
 		inj = chaos.New(chaos.Options{
 			Seed:     *chaosSeed,
 			Latency:  *chaosLatency,
@@ -135,6 +144,19 @@ func main() {
 		})
 		log.Printf("CHAOS ACTIVE (seed %d): latency %v@%g error %g reset %g torn %g — never run in production",
 			*chaosSeed, *chaosLatency, *chaosLatencyP, *chaosErrorP, *chaosResetP, *chaosTornP)
+		if hosts := splitHosts(*chaosPartition); len(hosts) > 0 {
+			inj.SetPartition(hosts...)
+			log.Printf("CHAOS PARTITION: this process cannot reach %v", hosts)
+		}
+	}
+	// outboundTransport chaos-wraps every client this process dials with, so
+	// -chaos-partition blackholes the real traffic (router calls, replica
+	// pushes, drain handoffs) — not just inbound requests.
+	outboundTransport := func() http.RoundTripper {
+		if inj == nil {
+			return nil
+		}
+		return inj.Transport(nil)
 	}
 	peerList := splitURLs(*peers)
 	switch *mode {
@@ -142,6 +164,10 @@ func main() {
 	case "router":
 		if len(peerList) == 0 {
 			fail("-mode router needs -peers")
+		}
+		weights, err := parseWeights(*weightsFlag)
+		if err != nil {
+			fail("%v", err)
 		}
 		runRouter(cluster.RouterOptions{
 			Backends:      peerList,
@@ -152,6 +178,13 @@ func main() {
 			Retries:       *retries,
 			RetryBackoff:  *retryBackoff,
 			FailAfter:     *failAfter,
+			Instance:      *routerInstance,
+			Weights:       weights,
+			LoadBound:     *loadBound,
+			MaxInflight:   *maxInflight,
+			MaxQueue:      *maxQueue,
+			QueueWait:     *queueWait,
+			Client:        &http.Client{Timeout: 10 * time.Second, Transport: outboundTransport()},
 		}, *addr, inj, fail)
 		return
 	default:
@@ -209,14 +242,17 @@ func main() {
 	}
 
 	opt := serve.Options{
-		Platform:     p,
-		Store:        store,
-		MaxSessions:  *maxSessions,
-		Shards:       *shards,
-		SeedBase:     *seed,
-		TrainWorkers: *trainWorkers,
-		TrainQueue:   *trainQueue,
-		CrossBatch:   *crossBatch,
+		Platform:      p,
+		Store:         store,
+		MaxSessions:   *maxSessions,
+		Shards:        *shards,
+		SeedBase:      *seed,
+		TrainWorkers:  *trainWorkers,
+		TrainQueue:    *trainQueue,
+		CrossBatch:    *crossBatch,
+		StepInflight:  *maxInflight,
+		StepQueue:     *maxQueue,
+		StepQueueWait: *queueWait,
 	}
 	if *online && store != nil {
 		t0 := time.Now()
@@ -238,6 +274,7 @@ func main() {
 			Peers:       peerList,
 			VNodes:      *vnodes,
 			CallTimeout: *callTimeout,
+			Client:      &http.Client{Timeout: 10 * time.Second, Transport: outboundTransport()},
 		}
 		handler = cluster.BackendHandler(drainer)
 		log.Printf("backend mode: draining to %d peers", len(peerList))
@@ -278,11 +315,19 @@ func main() {
 			Self:        *selfURL,
 			Peers:       peerList,
 			VNodes:      *vnodes,
+			Fanout:      *replicaK,
 			QueueSize:   *replicaQueue,
 			CallTimeout: *callTimeout,
 			Registry:    srv.Metrics(),
+			Client:      &http.Client{Timeout: 10 * time.Second, Transport: outboundTransport()},
+			// A standby that 409s a push holds a fresher epoch: fence our
+			// stale copy so the next step here redirects instead of forking.
+			OnStale: srv.FenceStale,
 		})
-		log.Printf("replicating checkpoints to ring-successor standbys")
+		// Promotion consults reachable standbys so the freshest replica wins
+		// even when the local copy went stale during a partition.
+		srv.SetPeerReplicas(repl.PeerReplicas)
+		log.Printf("replicating checkpoints to %d ring-successor standbys per session", repl.Fanout())
 	}
 	var ck *serve.Checkpointer
 	if store != nil || repl != nil {
@@ -488,6 +533,51 @@ func splitURLs(s string) []string {
 		}
 	}
 	return out
+}
+
+// splitHosts parses a comma-separated destination list into the bare
+// "host:port" form chaos partitions match against, accepting either full
+// URLs or already-bare authorities.
+func splitHosts(s string) []string {
+	var out []string
+	for _, part := range splitURLs(s) {
+		if i := strings.Index(part, "://"); i >= 0 {
+			part = part[i+3:]
+		}
+		if i := strings.IndexByte(part, '/'); i >= 0 {
+			part = part[:i]
+		}
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseWeights parses "-weights url=w,url=w" into a capacity map keyed by
+// the same normalized URLs the ring is built from.
+func parseWeights(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		url, val, ok := strings.Cut(part, "=")
+		url = strings.TrimRight(strings.TrimSpace(url), "/")
+		if !ok || url == "" {
+			return nil, fmt.Errorf("-weights entry %q is not url=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-weights entry %q needs a positive weight", part)
+		}
+		out[url] = w
+	}
+	return out, nil
 }
 
 // dialableAddr rewrites a wildcard listen address (":8090" binds the

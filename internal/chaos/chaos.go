@@ -50,11 +50,17 @@ type Injector struct {
 
 	enabled atomic.Bool
 
+	// blackholes holds destination hosts this side cannot reach (an
+	// asymmetric partition: only transports wrapped by THIS injector lose
+	// the host; the reverse direction is a separate injector's blackhole).
+	blackholes atomic.Pointer[map[string]bool]
+
 	// Injection counters, exposed for tests and logs.
-	Latencies atomic.Uint64
-	Errors    atomic.Uint64
-	Resets    atomic.Uint64
-	Torn      atomic.Uint64
+	Latencies   atomic.Uint64
+	Errors      atomic.Uint64
+	Resets      atomic.Uint64
+	Torn        atomic.Uint64
+	Partitioned atomic.Uint64
 }
 
 // New builds an Injector. Faults start enabled.
@@ -70,7 +76,34 @@ func New(opt Options) *Injector {
 
 // SetEnabled toggles all fault injection at runtime; disabled injectors
 // pass everything through (soak tests use this to end the storm phase).
+// Partitions are independent of this switch — they model the network, not
+// the fault schedule — and are cleared with SetPartition().
 func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
+
+// SetPartition blackholes the given destination hosts ("host:port", as they
+// appear in request URLs) for every Transport wrapped by this injector:
+// calls to them fail like dropped packets (an opaque transport error, not a
+// refusal — the caller cannot tell a partition from a dead host). Because
+// the block binds to this side's client transport only, partitioning A→B
+// while leaving B→A intact builds the asymmetric split that exercises
+// epoch fencing. Call with no arguments to heal.
+func (in *Injector) SetPartition(hosts ...string) {
+	if len(hosts) == 0 {
+		in.blackholes.Store(nil)
+		return
+	}
+	m := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		m[h] = true
+	}
+	in.blackholes.Store(&m)
+}
+
+// partitioned reports whether host is currently blackholed.
+func (in *Injector) partitioned(host string) bool {
+	m := in.blackholes.Load()
+	return m != nil && (*m)[host]
+}
 
 // Active reports whether any fault class has a nonzero probability.
 func (in *Injector) Active() bool {
@@ -134,6 +167,13 @@ type transport struct {
 
 func (t *transport) RoundTrip(r *http.Request) (*http.Response, error) {
 	in := t.in
+	if in.partitioned(r.URL.Host) {
+		in.Partitioned.Add(1)
+		// A real partition drops packets silently; surface it as an opaque
+		// transport error (NOT a connection refusal, which callers may treat
+		// as provably-not-delivered and retry aggressively).
+		return nil, fmt.Errorf("chaos: partitioned from %s", r.URL.Host)
+	}
 	if in.fire(in.opt.LatencyP) {
 		in.Latencies.Add(1)
 		select {

@@ -116,6 +116,30 @@ func Open(opt Options) (*Store, error) {
 	if err := s.loadManifest(); err != nil {
 		return nil, err
 	}
+	// Sweep crash debris: a compaction (or roll) that died between creating
+	// its new segment file and swapping the manifest leaves an uncommitted
+	// segment on disk. Its records are either duplicated by the manifest set
+	// or were never acknowledged, so the file is deleted — but its sequence
+	// number must still advance nextSeq, or the next roll's O_EXCL create
+	// would collide with the leftover name and fail the Open.
+	inManifest := make(map[string]bool, len(s.segments))
+	for _, seg := range s.segments {
+		inManifest[seg] = true
+	}
+	if entries, err := os.ReadDir(opt.Dir); err == nil {
+		for _, ent := range entries {
+			n, found := seqOf(ent.Name())
+			if !found {
+				continue
+			}
+			if n >= s.nextSeq {
+				s.nextSeq = n + 1
+			}
+			if !inManifest[ent.Name()] {
+				_ = os.Remove(filepath.Join(opt.Dir, ent.Name()))
+			}
+		}
+	}
 	// Rebuild the live index and find the next segment sequence number.
 	for _, seg := range s.segments {
 		if n, found := seqOf(seg); found && n >= s.nextSeq {

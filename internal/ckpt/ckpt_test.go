@@ -328,3 +328,113 @@ func TestOpenStartsFreshSegment(t *testing.T) {
 		t.Fatalf("reopen kept appending to %s", first)
 	}
 }
+
+// TestCrashMidCompactionRecovery simulates a crash at both sides of the
+// compaction commit point (the manifest rename) and requires a clean Open
+// with the full pre-crash live set either way.
+func TestCrashMidCompactionRecovery(t *testing.T) {
+	// seedStore builds a store with superseded versions of a..d and closes
+	// it, returning the dir and the expected live set.
+	seedStore := func(t *testing.T) (string, map[string]string) {
+		dir := t.TempDir()
+		s, err := Open(Options{Dir: dir, Sync: SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]string{}
+		for v := 0; v < 3; v++ {
+			for _, id := range []string{"a", "b", "c", "d"} {
+				val := fmt.Sprintf("%s-v%d", id, v)
+				if err := s.Append(id, []byte(val)); err != nil {
+					t.Fatal(err)
+				}
+				want[id] = val
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, want
+	}
+	check := func(t *testing.T, dir string, want map[string]string) {
+		s, err := Open(Options{Dir: dir, Sync: SyncNone})
+		if err != nil {
+			t.Fatalf("post-crash open: %v", err)
+		}
+		defer s.Close()
+		live, damaged := replayAll(t, s)
+		if len(damaged) != 0 {
+			t.Fatalf("post-crash replay reports damage: %v", damaged)
+		}
+		if len(live) != len(want) {
+			t.Fatalf("post-crash live = %d sessions, want %d", len(live), len(want))
+		}
+		for id, val := range want {
+			if string(live[id]) != val {
+				t.Fatalf("post-crash %s = %q, want %q", id, live[id], val)
+			}
+		}
+		// The store must stay fully usable: appends, another compaction,
+		// another reopen.
+		if err := s.Append("e", []byte("e-v0")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Compact(); err != nil {
+			t.Fatalf("post-crash compaction: %v", err)
+		}
+	}
+
+	t.Run("before-manifest-swap", func(t *testing.T) {
+		// The compaction died after writing its new segment but before the
+		// manifest rename committed it: the manifest still lists the old
+		// segments, and an orphaned segment file sits in the directory with
+		// exactly the sequence number the next roll will want.
+		dir, want := seedStore(t)
+		data, err := os.ReadFile(filepath.Join(dir, manifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxSeq uint64
+		for _, line := range strings.Fields(string(data)) {
+			if n, ok := seqOf(line); ok && n > maxSeq {
+				maxSeq = n
+			}
+		}
+		orphan := filepath.Join(dir, segName(maxSeq+1))
+		// Half-written: header plus a torn record tail, as a crash leaves it.
+		if err := os.WriteFile(orphan, []byte(segMagic+"\x40\x00"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir, want)
+		if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+			t.Fatal("orphaned uncommitted segment survived recovery")
+		}
+	})
+
+	t.Run("after-manifest-swap", func(t *testing.T) {
+		// The compaction died after the manifest rename but before deleting
+		// the replaced segments: recovery reads only the manifest set and
+		// sweeps the leftovers.
+		dir, want := seedStore(t)
+		s, err := Open(Options{Dir: dir, Sync: SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compact with deletion "crashed": recreate the pre-delete state by
+		// compacting and then dropping replaced-segment debris back in.
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		debris := filepath.Join(dir, segName(0))
+		if err := os.WriteFile(debris, []byte(segMagic), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir, want)
+		if _, err := os.Stat(debris); !os.IsNotExist(err) {
+			t.Fatal("replaced-segment debris survived recovery")
+		}
+	})
+}

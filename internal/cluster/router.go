@@ -24,8 +24,31 @@ type RouterOptions struct {
 	// Backends are the backend base URLs the router may route to (its static
 	// universe; readiness probing decides the live subset).
 	Backends []string
+	// Instance distinguishes this router in an active-active tier: it is
+	// baked into the session ids this router assigns ("r<instance>-<n>"), so
+	// two routers assigning ids concurrently can never collide. Empty keeps
+	// the single-router id format ("r-<n>").
+	Instance string
 	// VNodes per backend on the hash ring (<=0 = DefaultVNodes).
 	VNodes int
+	// Weights are per-backend capacity weights for bounded-load placement
+	// (missing/non-positive = 1). They never move ring points — every router
+	// still agrees on ownership — they only scale each backend's admissible
+	// share of sessions when LoadBound is set.
+	Weights map[string]float64
+	// LoadBound is the bounded-load factor c: a backend accepts new
+	// placements only while its session count stays within c times its
+	// weighted fair share. <=1 disables (pure consistent hashing).
+	LoadBound float64
+	// MaxInflight bounds concurrently admitted step/batch requests at the
+	// router tier (0 = unlimited). Excess sheds with 429 + Retry-After —
+	// the router degrades before its backends drown.
+	MaxInflight int
+	// MaxQueue bounds requests briefly waiting for an admission slot once
+	// MaxInflight is saturated (0 = immediate 429).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits (0 = 100ms).
+	QueueWait time.Duration
 	// ProbeInterval between membership probes (0 = 500ms).
 	ProbeInterval time.Duration
 	// Client performs all backend HTTP calls (nil = a dedicated client with
@@ -40,7 +63,8 @@ type RouterOptions struct {
 	// exponential backoff (0 = 2; negative = no retries). Non-idempotent
 	// calls (steps, creates, imports) retry only when the connection was
 	// refused outright — a request the backend never received cannot have
-	// been acted on twice.
+	// been acted on twice. A 429 is never retried: the backend asked for
+	// less traffic, not the same traffic again.
 	Retries int
 	// RetryBackoff is the base backoff before the first retry, doubling per
 	// attempt with up-to-50% jitter (0 = 25ms).
@@ -60,9 +84,21 @@ type RouterOptions struct {
 // the ring says. A relocation cache papers over the handoff window: a step
 // that races a migration retries where the session actually is instead of
 // surfacing an error.
+//
+// Routers are active-active: any number of them may serve the same backend
+// set concurrently. They coordinate through the backends, not each other —
+// ids are namespaced per router instance, placement follows the shared
+// ring, and racing migrations/promotions are arbitrated by the backends'
+// session epochs (a stale import is refused, so at most one router's move
+// wins). The epoch also rides on every step response; a router that gets an
+// answer from a copy older than one it has already seen re-locates instead
+// of trusting it.
 type Router struct {
 	backends     []string
+	instance     string
 	vnodes       int
+	weights      map[string]float64
+	loadBound    float64
 	interval     time.Duration
 	client       *http.Client
 	callTimeout  time.Duration
@@ -82,9 +118,24 @@ type Router struct {
 	// (guarded by mu); reaching failAfter marks the backend failed.
 	failCount map[string]int
 
+	// loads tracks per-backend resident session counts (guarded by loadMu):
+	// refreshed from /admin/sessions on every probe, bumped optimistically
+	// on create so a burst between probes still spreads under the bound.
+	loadMu sync.Mutex
+	loads  map[string]int
+
 	// relocations overrides ring ownership per session id while placement
 	// and ring disagree (mid-drain, mid-rebalance, off-owner create).
 	relocations sync.Map // session id -> backend URL
+
+	// epochs remembers the highest session epoch seen in step responses
+	// (session id -> uint64); an answer from a lower epoch means a stale
+	// copy answered and triggers a re-locate.
+	epochs sync.Map
+
+	// limiter sheds step/batch traffic beyond the router's admission bound;
+	// nil admits everything.
+	limiter *serve.Limiter
 
 	nextID   atomic.Int64
 	stop     chan struct{}
@@ -102,6 +153,8 @@ type Router struct {
 	mRetries         *metrics.Counter
 	mPromotions      *metrics.Counter
 	mPromotionsStale *metrics.Counter
+	mStaleEpochs     *metrics.Counter
+	mBackendSheds    *metrics.Counter
 	backendGaugesMu  sync.Mutex
 	mBackendSessions map[string]*metrics.Gauge
 }
@@ -138,7 +191,10 @@ func NewRouter(opt RouterOptions) *Router {
 	reg := metrics.NewRegistry()
 	rt := &Router{
 		backends:     append([]string(nil), opt.Backends...),
+		instance:     opt.Instance,
 		vnodes:       opt.VNodes,
+		weights:      opt.Weights,
+		loadBound:    opt.LoadBound,
 		interval:     opt.ProbeInterval,
 		client:       opt.Client,
 		callTimeout:  opt.CallTimeout,
@@ -148,6 +204,7 @@ func NewRouter(opt RouterOptions) *Router {
 		failAfter:    opt.FailAfter,
 		ready:        map[string]bool{},
 		failCount:    map[string]int{},
+		loads:        map[string]int{},
 		stop:         make(chan struct{}),
 		reg:          reg,
 		mReady: reg.Gauge("socrouted_backends_ready",
@@ -170,9 +227,22 @@ func NewRouter(opt RouterOptions) *Router {
 			"Replica promotions observed on forwarded steps (backend header)."),
 		mPromotionsStale: reg.Counter("socrouted_promotions_stale_total",
 			"Promotions whose replica exceeded the backend's staleness bound."),
+		mStaleEpochs: reg.Counter("socrouted_stale_epochs_total",
+			"Step responses answered by a session copy older than one already seen (split-brain detected)."),
+		mBackendSheds: reg.Counter("socrouted_backend_sheds_total",
+			"Forwarded requests a backend shed with 429 (propagated, never retried)."),
 		mBackendSessions: map[string]*metrics.Gauge{},
 	}
-	rt.ring.Store(NewRing(nil, opt.VNodes))
+	if opt.MaxInflight > 0 {
+		rt.limiter = serve.NewLimiter(serve.LimiterOptions{
+			Inflight:  opt.MaxInflight,
+			Queue:     opt.MaxQueue,
+			QueueWait: opt.QueueWait,
+			Registry:  reg,
+			Name:      "socrouted_step",
+		})
+	}
+	rt.ring.Store(NewWeightedRing(nil, opt.Weights, opt.VNodes))
 	return rt
 }
 
@@ -252,7 +322,7 @@ func (rt *Router) Probe() bool {
 			nodes = append(nodes, b)
 		}
 	}
-	ring := NewRing(nodes, rt.vnodes)
+	ring := NewWeightedRing(nodes, rt.weights, rt.vnodes)
 	rt.ring.Store(ring)
 	// Relocation pins pointing at a removed backend would misroute until
 	// their next miss; purge them so the ring (and its failover owner)
@@ -289,7 +359,7 @@ func (rt *Router) probeOne(backend string) (up, responded bool) {
 
 // sessionsOf lists a backend's live sessions.
 func (rt *Router) sessionsOf(backend string) ([]string, error) {
-	data, status, err := rt.do(http.MethodGet, backend, "/admin/sessions", nil, "")
+	data, status, err := rt.do(context.Background(), http.MethodGet, backend, "/admin/sessions", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -303,6 +373,34 @@ func (rt *Router) sessionsOf(backend string) ([]string, error) {
 		return nil, err
 	}
 	return list.Sessions, nil
+}
+
+// loadOf returns the tracked resident session count for a backend.
+func (rt *Router) loadOf(backend string) int {
+	rt.loadMu.Lock()
+	defer rt.loadMu.Unlock()
+	return rt.loads[backend]
+}
+
+// totalLoad sums tracked resident sessions across ready backends.
+func (rt *Router) totalLoad() int {
+	rt.loadMu.Lock()
+	defer rt.loadMu.Unlock()
+	total := 0
+	for _, n := range rt.loads {
+		total += n
+	}
+	return total
+}
+
+// place picks the backend for a new or rehomed session id: the ring owner,
+// or — under a configured load bound — the first successor whose weighted
+// load stays within bound.
+func (rt *Router) place(ring *Ring, id string) string {
+	if rt.loadBound <= 1 {
+		return ring.Owner(id)
+	}
+	return ring.BoundedOwner(id, rt.loadBound, rt.loadOf, rt.totalLoad())
 }
 
 // rebalanceLocked moves every session that the new ring assigns elsewhere.
@@ -322,7 +420,17 @@ func (rt *Router) rebalanceLocked(ring *Ring) {
 				rt.relocations.Delete(id)
 				continue
 			}
-			rt.migrate(id, b, owner, ring)
+			target := owner
+			if rt.loadBound > 1 {
+				target = rt.place(ring, id)
+				if target == b {
+					// The bound keeps the session where it is; pin it so the
+					// proxy path routes here without a locate round.
+					rt.relocations.Store(id, b)
+					continue
+				}
+			}
+			rt.migrate(id, b, target, ring)
 		}
 	}
 	rt.mRebalance.Observe(time.Since(start).Seconds())
@@ -331,9 +439,13 @@ func (rt *Router) rebalanceLocked(ring *Ring) {
 // migrate hands one session from one backend to another: detach (the
 // per-session handoff lock — the source removes, quiesces training and
 // snapshots in one call), then import at the destination, falling back to
-// any other ready backend rather than losing the session.
+// any other ready backend rather than losing the session. Epoch fencing
+// arbitrates races: if another router (or a replica promotion) already
+// rehomed a fresher generation of the session, every import of this
+// now-stale snapshot is refused and the fresher copy stands.
 func (rt *Router) migrate(id, from, to string, ring *Ring) {
-	snapData, status, err := rt.do(http.MethodPost, from, "/v1/sessions/"+id+"/detach", nil, "")
+	ctx := context.Background()
+	snapData, status, err := rt.do(ctx, http.MethodPost, from, "/v1/sessions/"+id+"/detach", nil, "")
 	if err != nil || status != http.StatusOK {
 		// Someone else (a drain, a concurrent probe) already moved it.
 		return
@@ -343,11 +455,13 @@ func (rt *Router) migrate(id, from, to string, ring *Ring) {
 		if t == from {
 			continue
 		}
-		_, status, err = rt.do(http.MethodPost, t, "/v1/sessions/import", snapData, "application/octet-stream")
+		_, status, err = rt.do(ctx, http.MethodPost, t, "/v1/sessions/import", snapData, "application/octet-stream")
 		if err == nil && status == http.StatusConflict {
-			// The target already hosts this id — typically a replica it
-			// promoted while the source was unreachable. Keep whichever copy
-			// has stepped further (last-writer-wins on step count).
+			// The target holds (or has fenced) this id at an epoch our
+			// snapshot cannot outrank — typically a replica it promoted while
+			// the source was unreachable, or a racing router's migration that
+			// won. The fresher copy stands; our detached bytes are a stale
+			// generation, correctly discarded.
 			if !rt.resolveConflict(t, id, snapData) {
 				continue
 			}
@@ -364,50 +478,65 @@ func (rt *Router) migrate(id, from, to string, ring *Ring) {
 		}
 	}
 	// Last resort: put it back where it came from.
-	if _, status, err = rt.do(http.MethodPost, from, "/v1/sessions/import", snapData, "application/octet-stream"); err == nil && status == http.StatusCreated {
+	if _, status, err = rt.do(ctx, http.MethodPost, from, "/v1/sessions/import", snapData, "application/octet-stream"); err == nil && status == http.StatusCreated {
 		rt.relocations.Store(id, from)
 		return
 	}
 	rt.mFailedHandoffs.Inc()
 }
 
-// resolveConflict settles an import 409: backend already hosts id, and the
-// router holds a detached snapshot of the same session. The copy with more
-// steps wins. Returns true when the session on backend ends up current
-// (either it already was, or the snapshot replaced it).
+// resolveConflict settles an import 409: the backend refused the router's
+// detached snapshot. Epochs are the authority — the backend accepts any
+// import that outranks its resident copy, so a 409 means the resident (or
+// the fence left by a fresher generation) outranks the snapshot. Returns
+// true when a live copy of the session exists on the backend (the migration
+// converges there); false sends the caller on to other targets.
 func (rt *Router) resolveConflict(backend, id string, snapData []byte) bool {
-	_, snapSteps, err := serve.SnapshotMeta(snapData)
+	_, snapEpoch, snapSteps, err := serve.SnapshotMeta(snapData)
 	if err != nil {
-		// Unreadable snapshot can't outrank a live session.
-		return true
+		// Unreadable snapshot can't outrank anything; if the backend hosts
+		// the session live, that copy is the session.
+		snapEpoch, snapSteps = 0, 0
 	}
-	data, status, err := rt.do(http.MethodGet, backend, "/v1/sessions/"+id, nil, "")
+	data, status, err := rt.do(context.Background(), http.MethodGet, backend, "/v1/sessions/"+id, nil, "")
 	if err != nil || status != http.StatusOK {
+		// Fenced but not resident here (the fresher copy lives elsewhere, or
+		// died fenced). Let the caller try other targets; a locate or the
+		// next probe settles final placement.
 		return false
 	}
 	var info struct {
+		Epoch uint64 `json:"epoch"`
 		Steps uint64 `json:"steps"`
 	}
-	if json.Unmarshal(data, &info) != nil || info.Steps >= snapSteps {
+	if json.Unmarshal(data, &info) != nil {
 		return true
 	}
-	// The detached snapshot is strictly newer: replace the resident copy.
-	if _, status, err := rt.do(http.MethodDelete, backend, "/v1/sessions/"+id, nil, ""); err != nil || status != http.StatusOK {
-		return false
+	if info.Epoch > snapEpoch || (info.Epoch == snapEpoch && info.Steps >= snapSteps) {
+		return true
 	}
-	_, status, err = rt.do(http.MethodPost, backend, "/v1/sessions/import", snapData, "application/octet-stream")
-	return err == nil && status == http.StatusCreated
+	// Strictly newer snapshot refused: only possible when the resident's
+	// fence (not its live epoch) outranks us — a fresher generation existed
+	// here before. The resident still serves; keep it.
+	return true
 }
 
-// updateBackendGauges refreshes the per-backend session-count gauges.
+// updateBackendGauges refreshes the per-backend session-count gauges and
+// the load map that bounded placement consults.
 func (rt *Router) updateBackendGauges() {
 	for _, b := range rt.backends {
 		if !rt.ready[b] {
 			rt.backendGauge(b).Set(0)
+			rt.loadMu.Lock()
+			delete(rt.loads, b)
+			rt.loadMu.Unlock()
 			continue
 		}
 		if ids, err := rt.sessionsOf(b); err == nil {
 			rt.backendGauge(b).Set(float64(len(ids)))
+			rt.loadMu.Lock()
+			rt.loads[b] = len(ids)
+			rt.loadMu.Unlock()
 		}
 	}
 }
@@ -428,7 +557,9 @@ func (rt *Router) backendGauge(backend string) *metrics.Gauge {
 
 // do performs one backend call under the router's retry/timeout/backoff
 // discipline and returns the response body and status. Every attempt runs
-// under its own callTimeout deadline. Retry policy:
+// under its own callTimeout deadline, nested inside ctx so a client that
+// gave up (or a router-tier deadline) cancels the backend call too. Retry
+// policy:
 //
 //   - Idempotent calls (GET, DELETE) retry on any transport error and on
 //     5xx responses.
@@ -437,11 +568,23 @@ func (rt *Router) backendGauge(backend string) *metrics.Gauge {
 //     backend, so it cannot have been applied twice. A timeout or a 5xx on
 //     a step is ambiguous (the decision may already be acked into learner
 //     state) and is surfaced, not replayed.
-func (rt *Router) do(method, backend, path string, body []byte, contentType string) ([]byte, int, error) {
+//   - 429 is never retried at any method: the backend is shedding load and
+//     a retry is exactly the traffic it asked not to get. The shed
+//     propagates to the client, whose Retry-After backoff is the recovery
+//     mechanism.
+func (rt *Router) do(ctx context.Context, method, backend, path string, body []byte, contentType string) ([]byte, int, error) {
+	data, status, _, err := rt.doHdr(ctx, method, backend, path, body, contentType)
+	return data, status, err
+}
+
+// doHdr is do plus the response headers, for callers that read the fencing
+// metadata (epoch, promotion flags) a backend attaches.
+func (rt *Router) doHdr(ctx context.Context, method, backend, path string, body []byte, contentType string) ([]byte, int, http.Header, error) {
 	idempotent := method == http.MethodGet || method == http.MethodDelete
 	var (
 		data    []byte
 		status  int
+		hdr     http.Header
 		lastErr error
 	)
 	for attempt := 0; ; attempt++ {
@@ -449,18 +592,26 @@ func (rt *Router) do(method, backend, path string, body []byte, contentType stri
 			rt.mRetries.Inc()
 			time.Sleep(retryDelay(rt.retryBackoff, attempt))
 		}
-		data, status, lastErr = rt.doOnce(method, backend, path, body, contentType)
+		data, status, hdr, lastErr = rt.doOnce(ctx, method, backend, path, body, contentType)
 		if lastErr != nil {
+			if ctx.Err() != nil {
+				// The caller's deadline expired; more attempts only add load.
+				return nil, 0, nil, lastErr
+			}
 			refused := errors.Is(lastErr, syscall.ECONNREFUSED)
 			if attempt < rt.retries && (idempotent || refused) {
 				continue
 			}
-			return nil, 0, lastErr
+			return nil, 0, nil, lastErr
+		}
+		if status == http.StatusTooManyRequests {
+			rt.mBackendSheds.Inc()
+			return data, status, hdr, nil
 		}
 		if status >= 500 && idempotent && attempt < rt.retries {
 			continue
 		}
-		return data, status, nil
+		return data, status, hdr, nil
 	}
 }
 
@@ -473,16 +624,16 @@ func retryDelay(base time.Duration, attempt int) time.Duration {
 }
 
 // doOnce is a single deadline-bounded backend call.
-func (rt *Router) doOnce(method, backend, path string, body []byte, contentType string) ([]byte, int, error) {
+func (rt *Router) doOnce(ctx context.Context, method, backend, path string, body []byte, contentType string) ([]byte, int, http.Header, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), rt.callTimeout)
+	ctx, cancel := context.WithTimeout(ctx, rt.callTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, backend+path, rd)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
@@ -490,13 +641,13 @@ func (rt *Router) doOnce(method, backend, path string, body []byte, contentType 
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		rt.mProxyErrors.Inc()
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		rt.mProxyErrors.Inc()
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	// A backend that just promoted a warm-standby replica says so in a
 	// response header; counting here gives the cluster-wide promotion view
@@ -508,7 +659,7 @@ func (rt *Router) doOnce(method, backend, path string, body []byte, contentType 
 		}
 	}
 	rt.mProxied.Inc()
-	return data, resp.StatusCode, nil
+	return data, resp.StatusCode, resp.Header, nil
 }
 
 // route resolves a session id to its backend: the relocation cache wins
@@ -522,23 +673,62 @@ func (rt *Router) route(id string) (string, bool) {
 }
 
 // locate probes every ready backend for the session, re-pinning the
-// relocation cache when found. It is the router's answer to the handoff
+// relocation cache to the copy with the highest epoch when found — during a
+// partition more than one backend may claim the session, and the freshest
+// generation is the real one. It is also the router's answer to the handoff
 // window: between detach and import the session exists nowhere, so a
 // not-found is retried by the caller rather than trusted immediately.
 func (rt *Router) locate(id string) (string, bool) {
+	var (
+		best      string
+		bestEpoch uint64
+		found     bool
+	)
 	for _, b := range rt.ring.Load().Nodes() {
-		_, status, err := rt.do(http.MethodGet, b, "/v1/sessions/"+id, nil, "")
-		if err == nil && status == http.StatusOK {
-			if b != rt.ring.Load().Owner(id) {
-				rt.relocations.Store(id, b)
-			} else {
-				rt.relocations.Delete(id)
-			}
-			rt.mRelocations.Inc()
-			return b, true
+		data, status, err := rt.do(context.Background(), http.MethodGet, b, "/v1/sessions/"+id, nil, "")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var info struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		_ = json.Unmarshal(data, &info)
+		if !found || info.Epoch > bestEpoch {
+			best, bestEpoch, found = b, info.Epoch, true
 		}
 	}
-	return "", false
+	if !found {
+		return "", false
+	}
+	if best != rt.ring.Load().Owner(id) {
+		rt.relocations.Store(id, best)
+	} else {
+		rt.relocations.Delete(id)
+	}
+	rt.noteEpoch(id, bestEpoch)
+	rt.mRelocations.Inc()
+	return best, true
+}
+
+// noteEpoch records the highest epoch seen for a session; reports whether e
+// is stale (strictly below a previously seen epoch).
+func (rt *Router) noteEpoch(id string, e uint64) bool {
+	for {
+		v, loaded := rt.epochs.Load(id)
+		if !loaded {
+			if _, raced := rt.epochs.LoadOrStore(id, e); !raced {
+				return false
+			}
+			continue
+		}
+		cur := v.(uint64)
+		if e < cur {
+			return true
+		}
+		if e == cur || rt.epochs.CompareAndSwap(id, v, e) {
+			return false
+		}
+	}
 }
 
 // relocateRetryBudget bounds how long a session call chases a migrating
@@ -552,23 +742,44 @@ const (
 
 // callSession forwards one session-scoped request, chasing migrations: a
 // 404/409 from the routed backend triggers a cluster-wide locate and a
-// retry, until the budget expires.
-func (rt *Router) callSession(method, id, path string, body []byte, contentType string) ([]byte, int, error) {
+// retry, until the budget expires or the caller's context ends. A 429 is
+// surfaced immediately (shed, not missing). A success answered by a session
+// copy with an epoch below one already seen gets a single locate-and-retry
+// toward the fresher copy before the answer is trusted.
+func (rt *Router) callSession(ctx context.Context, method, id, path string, body []byte, contentType string) ([]byte, int, http.Header, error) {
 	deadline := time.Now().Add(relocateRetryBudget)
+	staleRetried := false
 	var (
 		data   []byte
 		status int
+		hdr    http.Header
 		err    error
 	)
 	for {
 		backend, routed := rt.route(id)
 		if routed {
-			data, status, err = rt.do(method, backend, path, body, contentType)
+			data, status, hdr, err = rt.doHdr(ctx, method, backend, path, body, contentType)
 			if err == nil && status != http.StatusNotFound && status != http.StatusConflict {
-				return data, status, nil
+				if status == http.StatusOK && hdr != nil {
+					if e, perr := strconv.ParseUint(hdr.Get(serve.HeaderEpoch), 10, 64); perr == nil {
+						if rt.noteEpoch(id, e) && !staleRetried {
+							// A stale copy answered (split-brain window): try
+							// once to find the fresher copy before trusting it.
+							rt.mStaleEpochs.Inc()
+							staleRetried = true
+							if _, found := rt.locate(id); found {
+								continue
+							}
+						}
+					}
+				}
+				return data, status, hdr, nil
 			}
 		} else {
 			err = fmt.Errorf("no ready backend")
+		}
+		if ctx.Err() != nil {
+			break
 		}
 		if _, found := rt.locate(id); !found {
 			if time.Now().After(deadline) {
@@ -581,9 +792,9 @@ func (rt *Router) callSession(method, id, path string, body []byte, contentType 
 		}
 	}
 	if err != nil {
-		return nil, http.StatusBadGateway, err
+		return nil, http.StatusBadGateway, nil, err
 	}
-	return data, status, nil
+	return data, status, hdr, nil
 }
 
 // ---- HTTP layer ----
@@ -616,14 +827,21 @@ func (rt *Router) Handler() http.Handler {
 const maxRouterBody = 8 << 20
 
 func (rt *Router) writeProxied(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		// The backend shed this request; keep its back-off contract intact
+		// through the proxy hop.
+		h.Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
 }
 
 // handleCreate assigns the session id (so placement follows the ring),
-// forwards the create to the owner, and falls back across ready backends if
-// the owner refuses.
+// forwards the create to the placed backend — the ring owner, or under a
+// load bound the first successor with headroom — and falls back across
+// ready backends if it refuses.
 func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req serve.CreateRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxRouterBody)).Decode(&req); err != nil {
@@ -631,10 +849,10 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.ID == "" {
-		req.ID = "r-" + strconv.FormatInt(rt.nextID.Add(1), 10)
+		req.ID = "r" + rt.instance + "-" + strconv.FormatInt(rt.nextID.Add(1), 10)
 	}
 	ring := rt.ring.Load()
-	owner := ring.Owner(req.ID)
+	owner := rt.place(ring, req.ID)
 	if owner == "" {
 		http.Error(w, `{"error":"no ready backends"}`, http.StatusServiceUnavailable)
 		return
@@ -649,14 +867,17 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if i > 0 && b == owner {
 			continue
 		}
-		data, status, err := rt.do(http.MethodPost, b, "/v1/sessions", body, "application/json")
+		data, status, err := rt.do(r.Context(), http.MethodPost, b, "/v1/sessions", body, "application/json")
 		if err != nil {
 			continue
 		}
 		if status == http.StatusCreated {
-			if b != owner {
+			if b != ring.Owner(req.ID) {
 				rt.relocations.Store(req.ID, b)
 			}
+			rt.loadMu.Lock()
+			rt.loads[b]++
+			rt.loadMu.Unlock()
 			rt.writeProxied(w, status, data)
 			return
 		}
@@ -669,8 +890,19 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSession forwards a session-scoped request with migration chasing.
+// Steps pass through the router's admission limiter: a saturated router
+// answers 429 + Retry-After instead of stacking goroutines on a slow
+// backend.
 func (rt *Router) handleSession(method, suffix string) http.HandlerFunc {
+	isStep := suffix == "/step"
 	return func(w http.ResponseWriter, r *http.Request) {
+		if isStep {
+			if !rt.limiter.Acquire(r.Context()) {
+				serve.WriteShed(w)
+				return
+			}
+			defer rt.limiter.Release()
+		}
 		id := r.PathValue("id")
 		var body []byte
 		if method == http.MethodPost {
@@ -681,13 +913,14 @@ func (rt *Router) handleSession(method, suffix string) http.HandlerFunc {
 				return
 			}
 		}
-		data, status, err := rt.callSession(method, id, "/v1/sessions/"+id+suffix, body, "application/json")
+		data, status, _, err := rt.callSession(r.Context(), method, id, "/v1/sessions/"+id+suffix, body, "application/json")
 		if err != nil {
 			http.Error(w, fmt.Sprintf(`{"error":"%v"}`, err), status)
 			return
 		}
 		if method == http.MethodDelete && status == http.StatusOK {
 			rt.relocations.Delete(id)
+			rt.epochs.Delete(id)
 		}
 		rt.writeProxied(w, status, data)
 	}
@@ -696,8 +929,15 @@ func (rt *Router) handleSession(method, suffix string) http.HandlerFunc {
 // handleBatch splits a fleet tick by owning backend, forwards the
 // sub-batches, and merges the per-entry results back into request order. An
 // entry whose backend reports no-session gets one individual retry through
-// the migration-chasing path before the error is surfaced.
+// the migration-chasing path before the error is surfaced. A backend that
+// sheds (429) or times out fails only its own entries — marked shed so the
+// client retries them after Retry-After — never the whole tick.
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !rt.limiter.Acquire(r.Context()) {
+		serve.WriteShed(w)
+		return
+	}
+	defer rt.limiter.Release()
 	var req serve.BatchRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxRouterBody)).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf(`{"error":"decoding request: %v"}`, err), http.StatusBadRequest)
@@ -705,6 +945,11 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Entries) == 0 {
 		http.Error(w, `{"error":"batch request carries no entries"}`, http.StatusBadRequest)
+		return
+	}
+	if len(req.Entries) > serve.MaxBatchEntries {
+		http.Error(w, fmt.Sprintf(`{"error":"batch carries %d entries, cap is %d"}`,
+			len(req.Entries), serve.MaxBatchEntries), http.StatusRequestEntityTooLarge)
 		return
 	}
 	results := make([]serve.BatchResult, len(req.Entries))
@@ -727,13 +972,22 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
-		data, status, err := rt.do(http.MethodPost, backend, "/v1/step/batch", body, "application/json")
+		data, status, err := rt.do(r.Context(), http.MethodPost, backend, "/v1/step/batch", body, "application/json")
 		if err != nil || status != http.StatusOK {
+			st, msg := serve.StepRejected, "backend unavailable"
+			if err == nil && status == http.StatusTooManyRequests {
+				// The backend shed the sub-batch: these entries are fine,
+				// just deferred. Fail them fast as shed so the client's
+				// Retry-After backoff handles recovery.
+				st, msg = serve.StepShed, serve.StepShed.Text()
+			} else if err != nil && errors.Is(err, context.DeadlineExceeded) {
+				st, msg = serve.StepShed, "backend deadline exceeded, retry later"
+			}
 			for _, i := range idxs {
 				results[i] = serve.BatchResult{
 					Session: req.Entries[i].Session.String(),
-					Status:  serve.StepRejected,
-					Error:   "backend unavailable",
+					Status:  st,
+					Error:   msg,
 				}
 			}
 			continue
@@ -747,10 +1001,14 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	// Second chance for entries that missed: the session may have been
-	// mid-migration when the sub-batch landed.
+	// mid-migration when the sub-batch landed. Shed entries are NOT retried
+	// here — re-pushing them during overload defeats the point of shedding.
 	for i := range results {
 		if results[i].Status != serve.StepNoSession {
 			continue
+		}
+		if r.Context().Err() != nil {
+			break
 		}
 		id := req.Entries[i].Session.String()
 		one := serve.BatchRequest{Entries: []serve.BatchEntry{req.Entries[i]}}
@@ -765,7 +1023,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if !routed {
 			continue
 		}
-		data, status, err := rt.do(http.MethodPost, backend, "/v1/step/batch", body, "application/json")
+		data, status, err := rt.do(r.Context(), http.MethodPost, backend, "/v1/step/batch", body, "application/json")
 		if err != nil || status != http.StatusOK {
 			continue
 		}
@@ -786,15 +1044,23 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // backendState is one backend's view in GET /admin/backends.
 type backendState struct {
-	URL   string `json:"url"`
-	Ready bool   `json:"ready"`
+	URL      string  `json:"url"`
+	Ready    bool    `json:"ready"`
+	Sessions int     `json:"sessions"`
+	Weight   float64 `json:"weight"`
 }
 
 func (rt *Router) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	ring := rt.ring.Load()
 	rt.mu.Lock()
 	states := make([]backendState, 0, len(rt.backends))
 	for _, b := range rt.backends {
-		states = append(states, backendState{URL: b, Ready: rt.ready[b]})
+		states = append(states, backendState{
+			URL:      b,
+			Ready:    rt.ready[b],
+			Sessions: rt.loadOf(b),
+			Weight:   ring.Weight(b),
+		})
 	}
 	rt.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")

@@ -11,8 +11,10 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // atomicFloat is a float64 updated with CAS loops so hot counters never
@@ -60,6 +62,52 @@ func (g *Gauge) Add(v float64) { g.v.Add(v) }
 
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Meter is a Counter that additionally reports its scrape-to-scrape rate.
+// Totals alone hide silent steady-state loss — a drop counter at 40 may be
+// forty drops at startup or four drops a second right now — so a meter
+// renders both the monotonic total and the per-second rate over the window
+// since the previous scrape. The first scrape reports a zero rate.
+type Meter struct {
+	c Counter
+
+	mu     sync.Mutex
+	prev   float64
+	prevAt time.Time
+}
+
+// Inc adds one.
+func (m *Meter) Inc() { m.c.Inc() }
+
+// Add increases the meter; negative deltas are ignored.
+func (m *Meter) Add(v float64) { m.c.Add(v) }
+
+// Value returns the monotonic total.
+func (m *Meter) Value() float64 { return m.c.Value() }
+
+// rate returns the per-second rate since the previous call and advances the
+// window. Concurrent scrapers shorten each other's windows, which only makes
+// the rate fresher.
+func (m *Meter) rate() float64 {
+	total := m.c.Value()
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.prevAt.IsZero() {
+		m.prev, m.prevAt = total, now
+		return 0
+	}
+	dt := now.Sub(m.prevAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	r := (total - m.prev) / dt
+	m.prev, m.prevAt = total, now
+	if r < 0 {
+		return 0
+	}
+	return r
+}
 
 // histBuckets are exponential latency bucket upper bounds: 1 µs doubling up
 // to ~67 s, plus an implicit +Inf overflow bucket. Decision latencies of
@@ -154,10 +202,11 @@ type Registry struct {
 
 type registered struct {
 	help string
-	kind string // "counter", "gauge", "summary"
+	kind string // "counter", "gauge", "summary", "meter"
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	m    *Meter
 }
 
 // NewRegistry returns an empty registry.
@@ -195,6 +244,13 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return r.register(name, help, "summary", registered{h: &Histogram{}}).h
 }
 
+// Meter returns the named meter, registering it on first use. It renders as
+// the counter `name` plus a companion gauge `<name minus _total>_rate_per_s`
+// carrying the per-second rate over the window since the previous scrape.
+func (r *Registry) Meter(name, help string) *Meter {
+	return r.register(name, help, "meter", registered{m: &Meter{}}).m
+}
+
 // WriteProm renders every metric in the Prometheus text exposition format,
 // sorted by name.
 func (r *Registry) WriteProm(w io.Writer) {
@@ -209,10 +265,20 @@ func (r *Registry) WriteProm(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		it := items[name]
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, it.help, name, it.kind)
+		kind := it.kind
+		if kind == "meter" {
+			kind = "counter"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, it.help, name, kind)
 		switch it.kind {
 		case "counter":
 			fmt.Fprintf(w, "%s %g\n", name, it.c.Value())
+		case "meter":
+			fmt.Fprintf(w, "%s %g\n", name, it.m.Value())
+			rateName := strings.TrimSuffix(name, "_total") + "_rate_per_s"
+			fmt.Fprintf(w, "# HELP %s Per-second rate of %s since the previous scrape.\n# TYPE %s gauge\n",
+				rateName, name, rateName)
+			fmt.Fprintf(w, "%s %g\n", rateName, it.m.rate())
 		case "gauge":
 			fmt.Fprintf(w, "%s %g\n", name, it.g.Value())
 		case "summary":

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestBatchEntryCapBoundary pins the entry cap at its exact boundary: the
+// 8 MiB byte cap alone cannot bound per-entry work (thousands of tiny
+// entries fit under it), so the cap must admit exactly MaxBatchEntries and
+// 413 one past it.
+func TestBatchEntryCapBoundary(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	mk := func(n int) []byte {
+		entries := make([]BatchEntry, n)
+		for i := range entries {
+			entries[i] = BatchEntry{Session: SessionRef("absent")}
+		}
+		body, err := json.Marshal(BatchRequest{Entries: entries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	for _, tc := range []struct {
+		name string
+		n    int
+		want int
+	}{
+		{"one-under", MaxBatchEntries - 1, http.StatusOK},
+		{"exact", MaxBatchEntries, http.StatusOK},
+		{"one-over", MaxBatchEntries + 1, http.StatusRequestEntityTooLarge},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/step/batch", "application/json", bytes.NewReader(mk(tc.n)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("batch of %d entries = %d, want %d", tc.n, resp.StatusCode, tc.want)
+			}
+			if tc.want != http.StatusOK {
+				return
+			}
+			var out BatchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			// Admitted batches answer every entry in-band (here: no-session
+			// errors), never a partial response.
+			if len(out.Results) != tc.n {
+				t.Fatalf("admitted batch returned %d results, want %d", len(out.Results), tc.n)
+			}
+		})
+	}
+}

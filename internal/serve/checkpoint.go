@@ -210,7 +210,7 @@ func (c *Checkpointer) Flush() (int, error) {
 		}
 		// Trust the snapshot's own step count, not the planning cut: the
 		// session may have stepped in between and the snapshot covers it.
-		_, steps, err := SnapshotMeta(data)
+		_, _, steps, err := SnapshotMeta(data)
 		if err != nil {
 			steps = it.steps
 		}
@@ -256,29 +256,31 @@ func (c *Checkpointer) Flush() (int, error) {
 }
 
 // SnapshotMeta decodes just the envelope header of a session snapshot and
-// returns its session id and step count — enough to index a checkpoint or
-// resolve an import conflict without rebuilding the decider.
-func SnapshotMeta(data []byte) (id string, steps uint64, err error) {
+// returns its session id, epoch (fencing token) and step count — enough to
+// index a checkpoint or resolve an import conflict without rebuilding the
+// decider.
+func SnapshotMeta(data []byte) (id string, epoch, steps uint64, err error) {
 	d := snap.NewDecoder(data)
 	if m := d.U32(); m != snapshotMagic {
 		if derr := d.Err(); derr != nil {
-			return "", 0, derr
+			return "", 0, 0, derr
 		}
-		return "", 0, fmt.Errorf("not a session snapshot (magic %#x)", m)
+		return "", 0, 0, fmt.Errorf("not a session snapshot (magic %#x)", m)
 	}
 	if v := d.U16(); v != SnapshotVersion {
-		return "", 0, fmt.Errorf("snapshot version %d unsupported (this server speaks %d)", v, SnapshotVersion)
+		return "", 0, 0, fmt.Errorf("snapshot version %d unsupported (this server speaks %d)", v, SnapshotVersion)
 	}
 	id = d.String()
 	_ = d.String() // policy
+	epoch = d.U64()
 	steps = d.U64()
 	if err := d.Err(); err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	if id == "" {
-		return "", 0, fmt.Errorf("snapshot carries no session id")
+		return "", 0, 0, fmt.Errorf("snapshot carries no session id")
 	}
-	return id, steps, nil
+	return id, epoch, steps, nil
 }
 
 // RecoverFromStore replays a checkpoint store and re-imports every live
@@ -313,6 +315,12 @@ func (s *Server) RecoverFromStore(store *ckpt.Store) (restored int, damaged []st
 // replica promotion is paused (recovered state outranks possibly-stale
 // replicas for sessions this store owns).
 func (s *Server) SetRecovering(v bool) { s.recovering.Store(v) }
+
+// SetPeerReplicas installs the quorum-promotion hook after construction.
+// The cluster replicator both needs the server's metrics registry and
+// provides this hook, so one of the two must be wired late; call it before
+// serving traffic (it is not synchronized against concurrent promotion).
+func (s *Server) SetPeerReplicas(fn func(id string) []PeerReplica) { s.peerReplicas = fn }
 
 // Recovering reports whether the recovery gate is set.
 func (s *Server) Recovering() bool { return s.recovering.Load() }

@@ -2,11 +2,15 @@ package serve
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"socrm/internal/ckpt"
+	"socrm/internal/soc"
 )
 
 func newCkptStore(t *testing.T) *ckpt.Store {
@@ -150,6 +154,78 @@ func TestCheckpointerDirtyThreshold(t *testing.T) {
 	}
 }
 
+// TestCompactionVsTickerFlush races explicit store compactions against the
+// checkpointer's ticker flushes and live stepping (run under -race in CI).
+// The invariant: however the compactions interleave with appends, a final
+// flush + recovery restores every session at its exact step count.
+func TestCompactionVsTickerFlush(t *testing.T) {
+	srv, _, _ := newTestServer(t, nil)
+	store := newCkptStore(t)
+	ck := NewCheckpointer(srv, CheckpointerOptions{Store: store, Interval: 2 * time.Millisecond})
+	ck.Start()
+
+	const n = 8
+	starts := make([]soc.Config, n)
+	for i := 0; i < n; i++ {
+		created, err := srv.CreateSession(CreateRequest{Policy: "ondemand", ID: fmt.Sprintf("c-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts[i] = created.Start
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := starts[i]
+			for off := 0; !stop.Load(); off++ {
+				_, cfg = stepClosedLoop(t, srv, fmt.Sprintf("c-%d", i), cfg, off, 1)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := store.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	ck.Stop()
+	if _, err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, _ := newTestServer(t, nil)
+	restored, damaged, err := srv2.RecoverFromStore(store)
+	if err != nil || len(damaged) != 0 {
+		t.Fatalf("recover: restored=%d damaged=%v err=%v", restored, damaged, err)
+	}
+	if restored != n {
+		t.Fatalf("recovered %d sessions, want %d", restored, n)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("c-%d", i)
+		want, _ := srv.Info(id)
+		got, err := srv2.Info(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Steps != want.Steps {
+			t.Fatalf("session %s recovered at step %d, want %d", id, got.Steps, want.Steps)
+		}
+	}
+}
+
 func TestSnapshotMeta(t *testing.T) {
 	srv, _, _ := newTestServer(t, nil)
 	a, _ := srv.CreateSession(CreateRequest{Policy: "ondemand", ID: "meta-check"})
@@ -158,11 +234,14 @@ func TestSnapshotMeta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, steps, err := SnapshotMeta(data)
+	id, epoch, steps, err := SnapshotMeta(data)
 	if err != nil || id != "meta-check" || steps != 4 {
 		t.Fatalf("SnapshotMeta = (%q, %d, %v), want (meta-check, 4, nil)", id, steps, err)
 	}
-	if _, _, err := SnapshotMeta([]byte("garbage")); err == nil {
+	if epoch != 1 {
+		t.Fatalf("SnapshotMeta epoch = %d, want 1 (first ownership generation)", epoch)
+	}
+	if _, _, _, err := SnapshotMeta([]byte("garbage")); err == nil {
 		t.Fatal("SnapshotMeta accepted garbage")
 	}
 }

@@ -61,6 +61,24 @@ type Options struct {
 	// a cold-started one — the counter exists so operators can see when
 	// the checkpoint interval is too coarse for their failure rate.
 	ReplicaStaleAfter time.Duration
+	// PeerReplicas, when set, lets a promotion consult reachable peers for
+	// their parked replica of the session and promote the freshest epoch
+	// rather than blindly trusting the local standby (quorum promotion —
+	// cluster.Replicator provides an implementation). nil promotes local
+	// replicas only.
+	PeerReplicas func(id string) []PeerReplica
+	// StepInflight bounds concurrently admitted step/batch HTTP requests
+	// (0 = unlimited). Beyond it, up to StepQueue requests wait briefly;
+	// everything else is shed with 429 + Retry-After instead of queueing
+	// without bound — under overload the service degrades, it never
+	// collapses into timeouts.
+	StepInflight int
+	// StepQueue bounds requests waiting for an admission slot once
+	// StepInflight is saturated (0 = no waiting: immediate 429).
+	StepQueue int
+	// StepQueueWait bounds how long a queued request waits for a slot
+	// before being shed (0 = default 100ms).
+	StepQueueWait time.Duration
 }
 
 // Server is the governor-as-a-service HTTP daemon state.
@@ -88,6 +106,20 @@ type Server struct {
 	replicas          *replicaStore
 	replicaStaleAfter time.Duration
 
+	// peerReplicas, when set, is consulted on promotion so the freshest
+	// replica among reachable peers wins, not just the local one.
+	peerReplicas func(id string) []PeerReplica
+
+	// fences maps session id -> highest epoch known for it here; imports
+	// whose post-import epoch would not exceed the fence are stale
+	// (snapshot.go). Guards the two-routers-racing-one-failover case.
+	fenceMu sync.Mutex
+	fences  map[string]uint64
+
+	// limiter sheds step/batch requests beyond the admission bound; nil
+	// admits everything (standalone default).
+	limiter *Limiter
+
 	// trainers is the background training pool; nil in synchronous mode.
 	trainers   *trainerPool
 	trainQueue int
@@ -104,6 +136,8 @@ type Server struct {
 	mPolicyUpdates    *metrics.Gauge
 	mEnergy           *metrics.Counter
 	mLatency          *metrics.Histogram
+	mSessionsFenced   *metrics.Counter
+	mStaleImports     *metrics.Counter
 }
 
 // New returns a Server ready to serve.
@@ -128,6 +162,8 @@ func New(opt Options) *Server {
 		reg:               reg,
 		replicas:          newReplicaStore(reg),
 		replicaStaleAfter: opt.ReplicaStaleAfter,
+		peerReplicas:      opt.PeerReplicas,
+		fences:            make(map[string]uint64),
 		mSessionsActive: reg.Gauge("socserved_sessions_active",
 			"Governor sessions currently open."),
 		mSessionsTotal: reg.Counter("socserved_sessions_created_total",
@@ -150,6 +186,24 @@ func New(opt Options) *Server {
 			"Client-reported energy accounted across all steps."),
 		mLatency: reg.Histogram("socserved_decide_latency_seconds",
 			"Per-decision latency of the policy step path."),
+		mSessionsFenced: reg.Counter("socserved_sessions_fenced_total",
+			"Stale live session copies removed after fresher-epoch state appeared (split-brain healed)."),
+		mStaleImports: reg.Counter("socserved_stale_imports_total",
+			"Imports rejected because their epoch was at or below the local fence."),
+	}
+	if opt.StepInflight > 0 {
+		srv.limiter = NewLimiter(LimiterOptions{
+			Inflight: opt.StepInflight,
+			Queue:    opt.StepQueue,
+			QueueWait: func() time.Duration {
+				if opt.StepQueueWait > 0 {
+					return opt.StepQueueWait
+				}
+				return 100 * time.Millisecond
+			}(),
+			Registry: reg,
+			Name:     "socserved_step",
+		})
 	}
 	if opt.TrainWorkers > 0 {
 		// The pool queue holds sessions awaiting a retrain; a quarter of
@@ -319,6 +373,7 @@ func (s *Server) CreateSession(req CreateRequest) (CreateResponse, error) {
 		return CreateResponse{}, apiErrorf(http.StatusBadRequest, "%v", err)
 	}
 	sess := &Session{ID: name, Policy: req.Policy, dec: dec, trainer: trainer}
+	sess.setEpoch(1) // first ownership generation; every handoff bumps it
 	sess.lastCfg = s.defaultStart()
 	switch s.sessions.insert(sess) {
 	case insertDup:
@@ -512,6 +567,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/detach", s.handleDetach)
 	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
 	mux.HandleFunc("POST /v1/replica/{id}", s.handleReplicaPut)
+	mux.HandleFunc("GET /v1/replica/{id}", s.handleReplicaGet)
 	mux.HandleFunc("DELETE /v1/replica/{id}", s.handleReplicaDelete)
 	mux.HandleFunc("GET /admin/replicas", s.handleReplicaList)
 	mux.HandleFunc("GET /admin/sessions", s.handleSessionList)
@@ -663,6 +719,10 @@ const (
 	// StepRejected: the session exists but a step failed (closed session,
 	// empty telemetry); steps before the failure still decided.
 	StepRejected
+	// StepShed: the entry was not attempted because admission control shed
+	// it (backend 429 or deadline) — retry after backing off; the session
+	// itself is fine.
+	StepShed
 )
 
 // stepStatusText is the preallocated wire text per status.
@@ -670,6 +730,7 @@ var stepStatusText = [...]string{
 	StepOK:        "",
 	StepNoSession: "no session",
 	StepRejected:  "step rejected",
+	StepShed:      "shed: overloaded, retry later",
 }
 
 // Text returns the constant human-readable label for the status.
@@ -728,6 +789,12 @@ var contentTypeJSON = []string{"application/json"}
 // or hostile client, and the pre-sized read buffer below must never trust
 // an attacker-controlled Content-Length into a giant allocation.
 const maxStepBody = 8 << 20
+
+// MaxBatchEntries bounds entries per POST /v1/step/batch request (413 past
+// it). The byte cap alone is not enough: a hostile batch of tiny entries
+// stays under 8 MiB while fanning out to hundreds of thousands of registry
+// probes; the entry cap bounds the work a single request can demand.
+const MaxBatchEntries = 4096
 
 // decode reads one JSON value from the request body into v through the
 // scratch's persistent decoder — a json.Decoder is built for streams of
@@ -818,6 +885,13 @@ func (scr *stepScratch) resetBatch() {
 }
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		if !s.limiter.Acquire(r.Context()) {
+			WriteShed(w)
+			return
+		}
+		defer s.limiter.Release()
+	}
 	id := r.PathValue("id")
 	sess := s.sessions.get(id)
 	if sess == nil {
@@ -838,6 +912,9 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
+	// The answering copy's fencing token rides on every step response, so
+	// an active-active router can tell a stale copy from the current one.
+	w.Header()[HeaderEpoch] = sess.epochHdr
 	scr := stepScratchPool.Get().(*stepScratch)
 	defer stepScratchPool.Put(scr)
 	scr.resetStep()
@@ -868,6 +945,13 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		if !s.limiter.Acquire(r.Context()) {
+			WriteShed(w)
+			return
+		}
+		defer s.limiter.Release()
+	}
 	scr := stepScratchPool.Get().(*stepScratch)
 	defer stepScratchPool.Put(scr)
 	scr.resetBatch()
@@ -878,6 +962,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(scr.batch.Entries) == 0 {
 		writeError(w, http.StatusBadRequest, "batch request carries no entries")
+		return
+	}
+	if len(scr.batch.Entries) > MaxBatchEntries {
+		s.mStepErrors.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch carries %d entries, cap is %d", len(scr.batch.Entries), MaxBatchEntries)
 		return
 	}
 	scr.bresp.Results = s.StepBatch(scr.batch.Entries, scr.bresp.Results[:0])

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,18 @@ type StepTelemetry struct {
 type Session struct {
 	ID     string
 	Policy string
+
+	// epoch is the session's fencing token: a monotonic ownership
+	// generation, bumped every time the session changes hands (import,
+	// promotion, recovery). Two copies of a session can transiently exist
+	// during a partition or a racing failover; the higher epoch is the
+	// authoritative one and every lower-epoch copy is fenced off (rejected
+	// on import, removed on contact with fresher state). Immutable after
+	// construction — a copy never changes generation in place. epochHdr is
+	// the preformatted response-header value so the step hot path attaches
+	// the epoch without a per-request allocation.
+	epoch    uint64
+	epochHdr []string
 
 	// trainer is non-nil when the session's online learner runs in async
 	// mode: the step path polls it for readiness and the server's trainer
@@ -89,10 +102,21 @@ func (s *Session) Steps() uint64 {
 	return s.steps
 }
 
+// Epoch returns the session's ownership generation (fencing token).
+func (s *Session) Epoch() uint64 { return s.epoch }
+
+// setEpoch stamps the ownership generation at construction time, before
+// the session is published to the registry.
+func (s *Session) setEpoch(e uint64) {
+	s.epoch = e
+	s.epochHdr = []string{strconv.FormatUint(e, 10)}
+}
+
 // SessionInfo is the observable state of a session.
 type SessionInfo struct {
 	ID      string     `json:"id"`
 	Policy  string     `json:"policy"`
+	Epoch   uint64     `json:"epoch"`
 	Steps   uint64     `json:"steps"`
 	EnergyJ float64    `json:"energy_j"`
 	Updates int        `json:"updates"`
@@ -106,6 +130,7 @@ func (s *Session) info() SessionInfo {
 	inf := SessionInfo{
 		ID:      s.ID,
 		Policy:  s.Policy,
+		Epoch:   s.epoch,
 		Steps:   s.steps,
 		EnergyJ: s.energyJ,
 		LastCfg: s.lastCfg,

@@ -27,8 +27,9 @@ const snapshotMagic uint32 = 0x52434F53
 
 // SnapshotVersion is the current session-snapshot format version. Importers
 // reject any other version outright — a half-understood snapshot must never
-// become a half-restored session.
-const SnapshotVersion uint16 = 1
+// become a half-restored session. Version 2 added the session epoch (the
+// fencing token) to the envelope, right after the policy name.
+const SnapshotVersion uint16 = 2
 
 func encodeConfig(e *snap.Encoder, c soc.Config) {
 	e.Int(c.LittleFreqIdx)
@@ -53,6 +54,7 @@ func (s *Server) encodeSessionLocked(sess *Session, e *snap.Encoder) error {
 	e.U16(SnapshotVersion)
 	e.String(sess.ID)
 	e.String(sess.Policy)
+	e.U64(sess.epoch)
 	e.U64(sess.steps)
 	e.F64(sess.energyJ)
 	encodeConfig(e, sess.lastCfg)
@@ -212,8 +214,71 @@ func (s *Server) DetachSession(id string) ([]byte, error) {
 		s.mSessionsClosed.Inc()
 		return nil, apiErrorf(http.StatusUnprocessableEntity, "%v", err)
 	}
+	// The session left at this epoch; anything older that shows up later
+	// (a stale snapshot replayed by a racing router) must not resurrect it.
+	s.raiseFence(id, sess.epoch)
 	s.mSessionsExported.Inc()
 	return e.Bytes(), nil
+}
+
+// ---- Epoch fences ----
+
+// maxFences bounds the fence map. Fences are tombstones for session
+// generations, one entry per session that ever changed hands on this
+// server; past the bound, arbitrary entries are evicted — an evicted fence
+// only weakens protection against a replay of a long-gone snapshot, never
+// correctness of live traffic.
+const maxFences = 8192
+
+// fenceFor returns the fence epoch recorded for id, if any. An import is
+// admitted only when its post-import epoch exceeds the fence.
+func (s *Server) fenceFor(id string) (uint64, bool) {
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	f, ok := s.fences[id]
+	return f, ok
+}
+
+// raiseFence records that a copy of id at the given epoch exists or
+// existed; it never lowers an existing fence.
+func (s *Server) raiseFence(id string, epoch uint64) {
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	if cur, ok := s.fences[id]; !ok || epoch > cur {
+		s.fences[id] = epoch
+	}
+	if len(s.fences) > maxFences {
+		for k := range s.fences {
+			delete(s.fences, k)
+			if len(s.fences) <= maxFences/2 {
+				break
+			}
+		}
+	}
+}
+
+// fenceLive removes a resident session copy that fresher state (a
+// higher-epoch import or replica) has outranked. The copy is closed so an
+// in-flight step fails cleanly, and the fence is raised so its own
+// generation cannot come back.
+func (s *Server) fenceLive(cur *Session) {
+	removed := s.sessions.remove(cur.ID)
+	if removed == nil {
+		return
+	}
+	if removed != cur {
+		// Someone already replaced the stale copy; the resident one is not
+		// ours to fence — put it back.
+		s.sessions.insert(removed)
+		return
+	}
+	removed.close()
+	if s.trainers != nil && removed.trainer != nil {
+		s.trainers.mDropped.Add(float64(removed.trainer.TakeDropped()))
+	}
+	s.raiseFence(removed.ID, removed.epoch)
+	s.mSessionsFenced.Inc()
+	s.mSessionsActive.Add(-1)
 }
 
 // trainerUpdates reads the session's published-update count (0 when the
@@ -232,6 +297,16 @@ func trainerUpdates(sess *Session) int {
 // The direct call accepts even while draining — it is the recovery path
 // when a drain's handoff fails and the session must come back home; the
 // HTTP handler is what refuses remote imports during a drain.
+//
+// Every import is an ownership transfer, so the restored session lives at
+// the snapshot's epoch + 1 and the local fence is raised to that epoch:
+// importing the same envelope twice (two routers racing the same failover)
+// fails the second time with 409, and any import whose epoch falls at or
+// below the fence is stale by definition — a fresher copy of the session is
+// or was live somewhere — and is rejected and tombstoned rather than
+// resurrected. A resident live copy older than the incoming epoch is the
+// reverse case: the resident copy is the stale one, and it is fenced off
+// (removed) so the fresh import takes over.
 func (s *Server) ImportSession(data []byte) (CreateResponse, error) {
 	d := snap.NewDecoder(data)
 	if m := d.U32(); m != snapshotMagic {
@@ -246,6 +321,7 @@ func (s *Server) ImportSession(data []byte) (CreateResponse, error) {
 	}
 	id := d.String()
 	policy := d.String()
+	epoch := d.U64()
 	steps := d.U64()
 	energyJ := d.F64()
 	lastCfg := decodeConfig(d)
@@ -256,7 +332,14 @@ func (s *Server) ImportSession(data []byte) (CreateResponse, error) {
 	if id == "" {
 		return CreateResponse{}, apiErrorf(http.StatusBadRequest, "snapshot carries no session id")
 	}
+	liveEpoch := epoch + 1
+	if f, fenced := s.fenceFor(id); fenced && liveEpoch <= f {
+		s.mStaleImports.Inc()
+		return CreateResponse{}, apiErrorf(http.StatusConflict,
+			"stale-epoch import for session %q: snapshot epoch %d, fenced at %d", id, epoch, f)
+	}
 	sess := &Session{ID: id, Policy: policy}
+	sess.setEpoch(liveEpoch)
 	sess.steps = steps
 	sess.energyJ = energyJ
 	sess.lastCfg = lastCfg
@@ -289,13 +372,40 @@ func (s *Server) ImportSession(data []byte) (CreateResponse, error) {
 	}
 	sess.dec = dec
 	sess.trainer = trainer
-	switch s.sessions.insert(sess) {
-	case insertDup:
-		return CreateResponse{}, apiErrorf(http.StatusConflict, "session %q already exists", id)
-	case insertFull:
-		return CreateResponse{}, apiErrorf(http.StatusServiceUnavailable,
-			"session limit %d reached", s.maxSessions)
+	for attempt := 0; ; attempt++ {
+		switch s.sessions.insert(sess) {
+		case insertDup:
+			cur := s.sessions.get(id)
+			if cur == nil {
+				// Raced a concurrent remove between insert and get; try again.
+				if attempt < 8 {
+					continue
+				}
+				return CreateResponse{}, apiErrorf(http.StatusConflict,
+					"session %q is mid-handoff", id)
+			}
+			if cur.epoch >= liveEpoch {
+				s.mStaleImports.Inc()
+				s.raiseFence(id, cur.epoch)
+				return CreateResponse{}, apiErrorf(http.StatusConflict,
+					"session %q already exists at epoch %d (import would be %d)", id, cur.epoch, liveEpoch)
+			}
+			// The resident copy is the stale one: fence it off and take over.
+			s.fenceLive(cur)
+			if attempt < 8 {
+				continue
+			}
+			return CreateResponse{}, apiErrorf(http.StatusConflict,
+				"session %q import kept losing insert races", id)
+		case insertFull:
+			return CreateResponse{}, apiErrorf(http.StatusServiceUnavailable,
+				"session limit %d reached", s.maxSessions)
+		}
+		break
 	}
+	// Fence at the new live epoch: a second import of the same envelope
+	// (liveEpoch <= fence) is now stale even after this copy moves on.
+	s.raiseFence(id, liveEpoch)
 	s.mSessionsImported.Inc()
 	s.mSessionsActive.Add(1)
 	return CreateResponse{ID: id, Policy: policy, Start: lastCfg}, nil

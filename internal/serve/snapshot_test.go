@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"net/http"
 	"strings"
 	"sync"
@@ -92,10 +93,27 @@ func TestMigratedSessionBitIdentical(t *testing.T) {
 	}
 }
 
+// withEpoch returns a copy of a session snapshot with its envelope epoch
+// field rewritten in place — the comparison tool for "byte-identical modulo
+// the ownership generation".
+func withEpoch(t *testing.T, data []byte, epoch uint64) []byte {
+	t.Helper()
+	out := append([]byte(nil), data...)
+	off := 6 // magic (u32) + version (u16)
+	idLen := binary.LittleEndian.Uint32(out[off:])
+	off += 4 + int(idLen)
+	polLen := binary.LittleEndian.Uint32(out[off:])
+	off += 4 + int(polLen)
+	binary.LittleEndian.PutUint64(out[off:], epoch)
+	return out
+}
+
 // TestSnapshotReExportByteIdentical: export → import → export must reproduce
-// the exact same bytes. Byte equality is a much stronger claim than
-// behavioral equality — it proves the codec round-trips every field it
-// writes, with nothing silently defaulted on the way back in.
+// the exact same bytes, except the envelope epoch, which advances by exactly
+// one on import (every import is an ownership transfer). Byte equality is a
+// much stronger claim than behavioral equality — it proves the codec
+// round-trips every field it writes, with nothing silently defaulted on the
+// way back in.
 func TestSnapshotReExportByteIdentical(t *testing.T) {
 	srvA, _, _ := newTestServer(t, nil)
 	srvB, _, _ := newTestServer(t, nil)
@@ -117,8 +135,19 @@ func TestSnapshotReExportByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(first, second) {
-		t.Fatalf("re-export differs: %d bytes vs %d bytes", len(first), len(second))
+	_, firstEpoch, _, err := SnapshotMeta(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, secondEpoch, _, err := SnapshotMeta(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondEpoch != firstEpoch+1 {
+		t.Fatalf("import advanced epoch %d -> %d, want exactly +1", firstEpoch, secondEpoch)
+	}
+	if !bytes.Equal(withEpoch(t, first, secondEpoch), second) {
+		t.Fatalf("re-export differs beyond the epoch: %d bytes vs %d bytes", len(first), len(second))
 	}
 }
 

@@ -34,7 +34,7 @@ type trainerPool struct {
 
 	mSwaps    *metrics.Counter
 	mSamples  *metrics.Counter
-	mDropped  *metrics.Counter
+	mDropped  *metrics.Meter
 	mDeferred *metrics.Counter
 	mDepth    *metrics.Gauge
 	mLag      *metrics.Histogram
@@ -51,7 +51,7 @@ func newTrainerPool(workers, queueCap, crossBatch int, reg *metrics.Registry) *t
 			"Background retrains published by atomic policy swap."),
 		mSamples: reg.Counter("socserved_train_samples_total",
 			"Experience samples consumed by background retrains."),
-		mDropped: reg.Counter("socserved_train_dropped_experiences_total",
+		mDropped: reg.Meter("socserved_train_dropped_experiences_total",
 			"Experience samples shed by per-session drop-oldest backpressure."),
 		mDeferred: reg.Counter("socserved_train_deferred_total",
 			"Retrains deferred because the training queue was full."),

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# partition_smoke.sh — asymmetric-partition smoke for the active-active
+# router tier and epoch fencing.
+#
+# Topology: 2 routers (distinct -router-instance tags) over the same 3
+# checkpointing/replicating backends. Router 1 is started with a
+# -chaos-partition blackholing backend 1: its probes and calls toward that
+# backend drop like lost packets, while router 2 — and every
+# backend-to-backend path — still sees it. Sessions owned by the
+# partitioned backend therefore get promoted from standby replicas when
+# router 1 touches them, forking a second live copy that router 2 keeps
+# stepping. Epoch fencing must collapse every fork back to exactly one
+# live copy per session, with zero failed handoffs at either router.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[ -x ./socserved ] || go build -o socserved ./cmd/socserved
+
+RP=18300 # router 1; router 2 at RP+1, backends at RP+2..RP+4
+b1="http://127.0.0.1:$((RP+2))"
+peers="$b1,http://127.0.0.1:$((RP+3)),http://127.0.0.1:$((RP+4))"
+ckdir="$(mktemp -d)"
+pids=""
+cleanup() { kill $pids 2>/dev/null || true; rm -rf "$ckdir"; }
+trap cleanup EXIT
+
+for i in 2 3 4; do
+  ./socserved -mode backend -addr 127.0.0.1:$((RP+i)) \
+    -self "http://127.0.0.1:$((RP+i))" -peers "$peers" \
+    -ckpt-dir "$ckdir/b$i" -ckpt-interval 100ms -ckpt-sync none &
+  pids="$pids $!"
+done
+# Router 1 cannot reach backend 1 (asymmetric: nothing else is cut).
+./socserved -mode router -addr 127.0.0.1:$RP -peers "$peers" \
+  -router-instance 0 -chaos-partition "$b1" \
+  -probe-interval 200ms -fail-after 2 -call-timeout 2s &
+pids="$pids $!"
+./socserved -mode router -addr 127.0.0.1:$((RP+1)) -peers "$peers" \
+  -router-instance 1 -probe-interval 200ms -fail-after 2 -call-timeout 2s &
+pids="$pids $!"
+
+wait_ready() { # wait_ready <port> <count>
+  for i in $(seq 1 60); do
+    curl -sf "http://127.0.0.1:$1/metrics" 2>/dev/null \
+      | grep -q "^socrouted_backends_ready $2\$" && return 0
+    sleep 1
+  done
+  echo "router :$1 never reached $2 ready backends" >&2
+  return 1
+}
+wait_ready $((RP+1)) 3   # router 2 sees everything
+wait_ready $RP 2         # router 1 has evicted the partitioned backend
+
+step() { # step <router-port> <sid>
+  curl -sf -X POST "http://127.0.0.1:$1/v1/sessions/$2/step" -d '{
+    "counters": {"InstructionsRetired":1e8, "CPUCycles":1.5e8,
+                 "L2Misses":3e5, "DataMemAccess":1e7,
+                 "LittleUtil":1, "BigUtil":1, "ChipPower":2.1},
+    "config": {"LittleFreqIdx":6, "BigFreqIdx":9, "NLittle":4, "NBig":2},
+    "threads": 1}' | grep -q '"config"'
+}
+step_retry() {
+  for a in $(seq 1 50); do
+    step "$1" "$2" && return 0
+    sleep 0.2
+  done
+  echo "session $2 never answered via router :$1" >&2
+  return 1
+}
+
+# Create sessions through router 2 (full view) so some land on the
+# partitioned backend, and step each once so every one carries state.
+ids=""
+for i in $(seq 1 12); do
+  sid="$(curl -sf -X POST "http://127.0.0.1:$((RP+1))/v1/sessions" \
+    -d '{"policy":"interactive"}' | sed -E 's/.*"id":"([^"]+)".*/\1/')"
+  test -n "$sid"
+  ids="$ids $sid"
+done
+for sid in $ids; do step $((RP+1)) "$sid"; done
+
+sessions_on() { # sessions_on <port> -> sorted resident session ids
+  curl -sf "http://127.0.0.1:$1/admin/sessions" \
+    | grep -o 'r[0-9]*-[0-9]*' | sort -u
+}
+n1="$(sessions_on $((RP+2)) | wc -l)"
+[ "$n1" -gt 0 ] || \
+  { echo "partitioned backend holds no sessions; smoke proves nothing" >&2; exit 1; }
+
+# One checkpoint interval so every session's replica is parked, then step
+# everything through router 1: sessions it cannot reach get promoted from
+# standbys — the forks the fencing must heal.
+sleep 1
+for sid in $ids; do step_retry $RP "$sid"; done
+prom="$(curl -sf "http://127.0.0.1:$RP/metrics" \
+  | grep '^socrouted_promotions_total ' | awk '{print $2}')"
+[ "${prom%.*}" -ge 1 ] || \
+  { echo "router 1 promoted nothing (promotions_total=$prom); no fork was forced" >&2; exit 1; }
+
+# Keep router 2 stepping the same sessions (it still reaches the stale
+# copies), then let checkpoint pushes gossip epochs between the backends.
+for sid in $ids; do step_retry $((RP+1)) "$sid"; done
+
+# Fencing must converge to exactly one live copy per session. Replica
+# pushes ride checkpoint flushes, so give the gossip a few intervals and
+# poll instead of trusting one instant.
+dups=""
+for a in $(seq 1 50); do
+  dups="$( { sessions_on $((RP+2)); sessions_on $((RP+3)); sessions_on $((RP+4)); } \
+    | sort | uniq -d)"
+  [ -z "$dups" ] && break
+  sleep 0.2
+done
+[ -z "$dups" ] || { echo "duplicate live sessions survived fencing: $dups" >&2; exit 1; }
+
+# Both routers: zero failed handoffs, and every session still answers
+# through router 2 afterwards.
+for port in $RP $((RP+1)); do
+  fails="$(curl -sf "http://127.0.0.1:$port/metrics" \
+    | grep '^socrouted_failed_handoffs_total ' | awk '{print $2}')"
+  [ "${fails:-0}" = "0" ] || \
+    { echo "router :$port failed_handoffs_total=$fails, want 0" >&2; exit 1; }
+done
+for sid in $ids; do step_retry $((RP+1)) "$sid"; done
+
+total=$(( $(sessions_on $((RP+2)) | wc -l) + $(sessions_on $((RP+3)) | wc -l) \
+  + $(sessions_on $((RP+4)) | wc -l) ))
+[ "$total" -eq 12 ] || \
+  { echo "cluster holds $total live sessions, want 12 (lost or duplicated)" >&2; exit 1; }
+
+echo "partition smoke OK: $n1 sessions forked across the partition, $prom promotions, 0 duplicates, 0 failed handoffs"
