@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"socrm/internal/il"
+	"socrm/internal/memo"
+	"socrm/internal/snap"
+	"socrm/internal/soc"
+)
+
+// policiesVersion tags cached offline policy fits. It pins the training
+// hyperparameters too (il.DefaultMLPOptions, regtree.DefaultParams): bump
+// it when either changes, or when training semantics change at all.
+const policiesVersion = "study-policies-v1"
+
+// trainedPolicies is the cached unit: both offline policies fit from one
+// dataset. They are stored together because they share the input and are
+// always wanted together.
+type trainedPolicies struct {
+	mlp  *il.MLPPolicy
+	tree *il.TreePolicy
+}
+
+// trainPolicies fits (or recalls) the offline MLP and tree policies. The
+// key digests the platform and the full imitation dataset — which itself
+// is a pure function of the labeled Mi-Bench apps — so any change in seed,
+// snippet cap, suite content or labeling invalidates naturally. The MLP is
+// cloned out of the cache (its network is trained further by FreshOnlineIL
+// clones and carries scratch buffers); the tree policy is immutable after
+// fitting and shared as-is. Cached fits decode through the binary snap
+// codec, which preserves SGD momentum — a JSON-style snapshot would not,
+// and Fig3/Fig4 would drift cache-warm.
+func (s *Study) trainPolicies() (*il.MLPPolicy, *il.TreePolicy, error) {
+	if s.Opt.Cache == nil {
+		return s.trainPoliciesDirect()
+	}
+	h := memo.NewHasher()
+	h.String(policiesVersion)
+	s.P.HashContent(&h)
+	h.Int(len(s.dataset.X))
+	for i := range s.dataset.X {
+		h.F64s(s.dataset.X[i])
+		h.F64s(s.dataset.Y[i])
+	}
+	v, err := s.Opt.Cache.Do(h.Sum(), policiesCodec{p: s.P}, func() (any, error) {
+		mlpPol, treePol, err := s.trainPoliciesDirect()
+		if err != nil {
+			return nil, err
+		}
+		return &trainedPolicies{mlp: mlpPol, tree: treePol}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tp := v.(*trainedPolicies)
+	return tp.mlp.Clone(), tp.tree, nil
+}
+
+// policiesCodec round-trips both policies; the platform binds at decode
+// time (it is part of the key, so only a content-identical platform can
+// ever reach this entry).
+type policiesCodec struct {
+	p *soc.Platform
+}
+
+func (policiesCodec) Encode(e *snap.Encoder, v any) {
+	tp := v.(*trainedPolicies)
+	tp.mlp.EncodeTo(e)
+	tp.tree.EncodeTo(e)
+}
+
+func (c policiesCodec) Decode(d *snap.Decoder) (any, error) {
+	mlpPol, err := il.DecodeMLPPolicy(d, c.p)
+	if err != nil {
+		return nil, err
+	}
+	treePol, err := il.DecodeTreePolicy(d, c.p)
+	if err != nil {
+		return nil, err
+	}
+	return &trainedPolicies{mlp: mlpPol, tree: treePol}, nil
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"socrm/internal/memo"
+)
+
+// The memoization layer's contract: caching changes wall-time and nothing
+// else. These tests run the figure/table/ablation pipelines cache-off,
+// cache-cold and cache-warm (memory-warm within a process and disk-warm
+// across cache instances) and require bit-identical outputs, then poison
+// the disk tier and require a silent recompute.
+
+func cachedStudy(t *testing.T, c *memo.Cache) *Study {
+	t.Helper()
+	s, err := NewStudy(Options{Seed: 42, MaxSnippets: 6, Workers: 1, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newDiskCache(t *testing.T, dir string) *memo.Cache {
+	t.Helper()
+	c, err := memo.New(memo.Options{Dir: dir, Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// studyOutputs bundles every downstream artifact the cache could corrupt.
+type studyOutputs struct {
+	Table2 []Table2Row
+	Fig3   Fig3Result
+	Fig4   []Fig4Row
+	Buffer []BufferPoint
+	Neigh  []NeighborhoodPoint
+}
+
+func outputsOf(s *Study) studyOutputs {
+	return studyOutputs{
+		Table2: s.Table2(),
+		Fig3:   s.Fig3(),
+		Fig4:   s.Fig4(),
+		Buffer: s.BufferSizeAblation([]int{4, 16}),
+		Neigh:  s.NeighborhoodAblation([]int{1, 2}),
+	}
+}
+
+func TestStudyCacheOffColdWarmBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	off := outputsOf(buildStudy(t, 1)) // no cache: the reference
+
+	cache := newDiskCache(t, dir)
+	cold := outputsOf(cachedStudy(t, cache)) // cold: every entry computed+stored
+	coldStats := cache.Stats()
+	if coldStats.Misses == 0 || coldStats.DiskWrites == 0 {
+		t.Fatalf("cold run did not populate the cache: %+v", coldStats)
+	}
+
+	warm := outputsOf(cachedStudy(t, cache)) // warm: memory tier
+	warmStats := cache.Stats()
+	if warmStats.Hits == coldStats.Hits {
+		t.Fatalf("warm run hit nothing: cold %+v warm %+v", coldStats, warmStats)
+	}
+	if warmStats.Misses != coldStats.Misses {
+		t.Fatalf("warm run recomputed: cold %+v warm %+v", coldStats, warmStats)
+	}
+
+	disk := newDiskCache(t, dir) // fresh instance, same dir: disk tier only
+	warmDisk := outputsOf(cachedStudy(t, disk))
+	diskStats := disk.Stats()
+	if diskStats.DiskHits == 0 {
+		t.Fatalf("disk-warm run read nothing from disk: %+v", diskStats)
+	}
+
+	for name, got := range map[string]studyOutputs{"cold": cold, "warm": warm, "disk-warm": warmDisk} {
+		if !reflect.DeepEqual(got, off) {
+			t.Errorf("%s outputs differ from cache-off reference", name)
+		}
+	}
+}
+
+func TestCadenceCacheWarmBitIdentical(t *testing.T) {
+	off, err := CadenceAblation(42, []int{5, 60}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newDiskCache(t, t.TempDir())
+	cold, err := CadenceAblation(42, []int{5, 60}, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := CadenceAblation(42, []int{5, 60}, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Misses != 1 {
+		t.Fatalf("explicit fit not memoized: %+v", st)
+	}
+	if !reflect.DeepEqual(cold, off) || !reflect.DeepEqual(warm, off) {
+		t.Fatalf("cadence ablation drifted under caching:\noff  %v\ncold %v\nwarm %v", off, cold, warm)
+	}
+}
+
+// poisonDir bit-flips a byte inside every stored cache entry's payload.
+func poisonDir(t *testing.T, dir string) int {
+	t.Helper()
+	poisoned := 0
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(p, ".memo") {
+			return err
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		b[len(b)-1] ^= 0x55
+		poisoned++
+		return os.WriteFile(p, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return poisoned
+}
+
+func TestPoisonedDiskEntriesFallBackToRecompute(t *testing.T) {
+	dir := t.TempDir()
+	off := outputsOf(buildStudy(t, 1))
+
+	outputsOf(cachedStudy(t, newDiskCache(t, dir))) // populate
+	if n := poisonDir(t, dir); n == 0 {
+		t.Fatal("nothing to poison")
+	}
+
+	poisoned := newDiskCache(t, dir)
+	got := outputsOf(cachedStudy(t, poisoned))
+	st := poisoned.Stats()
+	if st.DiskErrors == 0 {
+		t.Fatalf("poisoned entries not detected: %+v", st)
+	}
+	if st.DiskHits != 0 {
+		t.Fatalf("served a poisoned entry as a hit: %+v", st)
+	}
+	if !reflect.DeepEqual(got, off) {
+		t.Fatal("outputs after poisoning differ from cache-off reference")
+	}
+}
+
+func TestLabelsPanicsOnUnknownApp(t *testing.T) {
+	s := buildStudy(t, 1)
+	for _, probe := range []func(){
+		func() { s.Labels("NoSuchApp") },
+		func() { s.OracleEnergy("NoSuchApp") },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("unknown app name did not panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "NoSuchApp") {
+					t.Fatalf("panic does not name the missing app: %v", r)
+				}
+			}()
+			probe()
+		}()
+	}
+}
+
+func TestScaleSweepCachedMatchesUncached(t *testing.T) {
+	opt := ScaleOptions{
+		Seed:          42,
+		SnippetFactor: 2,
+		MaxSnippets:   4,
+		FreqStepMHz:   400,
+		Objectives:    []string{"energy", "edp"},
+		Workers:       1,
+	}
+	off, err := ScaleSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Labels != off.Snippets*2 || off.Snippets == 0 {
+		t.Fatalf("sweep extent wrong: %+v", off)
+	}
+	cache := newDiskCache(t, t.TempDir())
+	opt.Cache = cache
+	cold, err := ScaleSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ScaleSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Hits < st.Misses {
+		t.Fatalf("warm sweep did not hit: %+v", st)
+	}
+	if !reflect.DeepEqual(cold, off) || !reflect.DeepEqual(warm, off) {
+		t.Fatalf("scale sweep drifted under caching:\noff  %+v\ncold %+v\nwarm %+v", off, cold, warm)
+	}
+	if warm.PerObjective[0].Digest == warm.PerObjective[1].Digest {
+		t.Fatal("energy and edp objectives produced identical label digests")
+	}
+}
+
+func TestScaleSweepRejectsUnknownObjective(t *testing.T) {
+	_, err := ScaleSweep(ScaleOptions{Objectives: []string{"latency"}})
+	if err == nil || !strings.Contains(err.Error(), "latency") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -46,7 +46,7 @@ func (s *Study) accuracyRun(seq *workload.Sequence, dec control.Decider, tracker
 	// Per-snippet Oracle configurations for the whole sequence.
 	oracleCfg := make([]soc.Config, 0, seq.Len())
 	for _, app := range seq.Apps {
-		for _, l := range s.labels[app.Name] {
+		for _, l := range s.Labels(app.Name) {
 			oracleCfg = append(oracleCfg, l.Cfg)
 		}
 	}

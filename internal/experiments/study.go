@@ -12,6 +12,7 @@ import (
 
 	"socrm/internal/control"
 	"socrm/internal/il"
+	"socrm/internal/memo"
 	"socrm/internal/oracle"
 	"socrm/internal/regtree"
 	"socrm/internal/rl"
@@ -28,6 +29,12 @@ type Options struct {
 	// GOMAXPROCS, 1 is a fully serial reference path. Outputs are identical for
 	// any value — only wall-time changes.
 	Workers int
+	// Cache memoizes the expensive deterministic construction steps —
+	// Oracle label sweeps and offline policy training — through the
+	// content-addressed store. nil computes everything directly. Results
+	// are bit-identical with and without a cache (the golden-digest tests
+	// pin this), so the cache only changes wall-time.
+	Cache *memo.Cache
 }
 
 // workers returns the study's worker-pool bound (0 = GOMAXPROCS).
@@ -65,7 +72,8 @@ func NewStudy(opt Options) (*Study, error) {
 		Parsec:  truncate(workload.Parsec(opt.Seed), opt.MaxSnippets),
 		labels:  map[string][]oracle.Label{},
 	}
-	s.Orc = oracle.New(s.P, oracle.Energy)
+	s.Orc = oracle.NewNamed(s.P, oracle.ObjEnergy)
+	s.Orc.Memo = opt.Cache
 	// Oracle labeling is the expensive step (a full configuration-space
 	// sweep per snippet) and every application is independent, so it runs
 	// on the worker pool: one job per app. On machines with more cores
@@ -91,17 +99,27 @@ func NewStudy(opt Options) (*Study, error) {
 	for _, app := range s.MiBench {
 		il.AppendDataset(&s.dataset, s.P, app, s.labels[app.Name])
 	}
-	pol, err := il.TrainMLPPolicy(s.P, s.dataset, il.DefaultMLPOptions())
+	pol, tree, err := s.trainPolicies()
 	if err != nil {
-		return nil, fmt.Errorf("experiments: offline policy training: %w", err)
+		return nil, err
 	}
 	s.policy = pol
-	tree, err := il.TrainTreePolicy(s.P, s.dataset, regtree.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: offline tree policy training: %w", err)
-	}
 	s.treePolicy = tree
 	return s, nil
+}
+
+// trainPoliciesDirect fits the offline MLP and tree policies from the
+// study's dataset — the uncached path.
+func (s *Study) trainPoliciesDirect() (*il.MLPPolicy, *il.TreePolicy, error) {
+	pol, err := il.TrainMLPPolicy(s.P, s.dataset, il.DefaultMLPOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: offline policy training: %w", err)
+	}
+	tree, err := il.TrainTreePolicy(s.P, s.dataset, regtree.DefaultParams())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: offline tree policy training: %w", err)
+	}
+	return pol, tree, nil
 }
 
 // OfflineTreePolicy returns the frozen regression-tree policy of refs
@@ -130,14 +148,24 @@ func (s *Study) allApps() []workload.Application {
 	return out
 }
 
-// Labels returns the cached Oracle labels of an application.
-func (s *Study) Labels(name string) []oracle.Label { return s.labels[name] }
+// Labels returns the Oracle labels of an application. It panics on a name
+// the study never labeled: a silent empty slice here turns a typo (or a
+// stale cache key) into an empty figure with zero-valued normalizers, which
+// is far harder to notice than a crash naming the missing app.
+func (s *Study) Labels(name string) []oracle.Label {
+	l, ok := s.labels[name]
+	if !ok {
+		panic(fmt.Sprintf("experiments: no oracle labels for application %q (study labeled %d apps)", name, len(s.labels)))
+	}
+	return l
+}
 
 // OracleEnergy returns the Oracle's total energy for an application — the
-// normalizer of Table II and Figure 4.
+// normalizer of Table II and Figure 4. Panics on an unknown name, like
+// Labels.
 func (s *Study) OracleEnergy(name string) float64 {
 	total := 0.0
-	for _, l := range s.labels[name] {
+	for _, l := range s.Labels(name) {
 		total += l.Res.Energy
 	}
 	return total

@@ -1,0 +1,30 @@
+package gpu
+
+import "socrm/internal/memo"
+
+// HashContent folds every parameter that can change a frame simulation or
+// a fitted explicit-NMPC surface: the OPP table, the slice/power/overhead
+// calibration and the thermal context. Used to key memoized FitExplicit
+// results.
+func (d *Device) HashContent(h *memo.Hasher) {
+	h.Int(len(d.OPPs))
+	for _, o := range d.OPPs {
+		h.F64(o.FreqMHz)
+		h.F64(o.Volt)
+	}
+	h.Int(d.MaxSlices)
+	h.F64(d.SliceAlpha)
+	h.F64(d.FixedOverhead)
+	h.F64(d.CeffSliceNF)
+	h.F64(d.LeakSliceWV2)
+	h.F64(d.IdleGPUW)
+	h.F64(d.ReconfigTime)
+	h.F64(d.ReconfigJ)
+	h.F64(d.CPUPkgW)
+	h.F64(d.DRAMBackW)
+	h.F64(d.DRAMJPerGB)
+	h.F64(d.BytesPerCycle)
+	h.F64(d.LeakTempCoeff)
+	h.F64(d.TempRef)
+	h.F64(d.Temp)
+}

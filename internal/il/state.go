@@ -6,6 +6,7 @@ import (
 	"socrm/internal/control"
 	"socrm/internal/counters"
 	"socrm/internal/mlp"
+	"socrm/internal/regtree"
 	"socrm/internal/rls"
 	"socrm/internal/snap"
 	"socrm/internal/soc"
@@ -39,6 +40,30 @@ func DecodeMLPPolicy(d *snap.Decoder, p *soc.Platform) (*MLPPolicy, error) {
 		return nil, err
 	}
 	return &MLPPolicy{Net: net, Scaler: sc, P: p}, nil
+}
+
+// EncodeTo writes the tree policy (scaler + forest) bit-exactly. Unlike
+// the JSON persist path this loses nothing: the experiment memoization
+// layer uses it to cache trained policies such that a decoded policy is
+// indistinguishable from the freshly fitted one.
+func (t *TreePolicy) EncodeTo(e *snap.Encoder) {
+	e.F64s(t.Scaler.Mean)
+	e.F64s(t.Scaler.Std)
+	t.Forest.EncodeTo(e)
+}
+
+// DecodeTreePolicy reconstructs a policy written by TreePolicy.EncodeTo
+// and binds it to the platform.
+func DecodeTreePolicy(d *snap.Decoder, p *soc.Platform) (*TreePolicy, error) {
+	sc := &counters.Scaler{Mean: d.F64s(), Std: d.F64s()}
+	if len(sc.Mean) != len(sc.Std) {
+		return nil, fmt.Errorf("il: decoded scaler has %d means, %d stds", len(sc.Mean), len(sc.Std))
+	}
+	forest, err := regtree.DecodeForest(d)
+	if err != nil {
+		return nil, err
+	}
+	return &TreePolicy{Forest: forest, Scaler: sc, P: p}, nil
 }
 
 // EncodeTo writes the adaptive model state: the three RLS estimators plus

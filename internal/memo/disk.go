@@ -1,0 +1,105 @@
+package memo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// On-disk entry format: a fixed 16-byte header followed by the snap-encoded
+// payload.
+//
+//	[0:8)   magic "SOCMEMO1"
+//	[8:12)  payload length, little-endian uint32
+//	[12:16) CRC-32 (IEEE) of the payload, little-endian uint32
+//	[16:)   payload
+//
+// Files are named by the (version-salted) content key, bucketed by the
+// first hex byte: <dir>/<hh>/<32 hex>.memo. Anything anomalous — short
+// file, bad magic, length mismatch, CRC mismatch — is a miss, never an
+// error: the worst corruption can do is force a recompute.
+const (
+	diskMagic     = "SOCMEMO1"
+	diskHeaderLen = 16
+)
+
+type diskTier struct {
+	dir string
+	seq atomic.Uint64 // temp-file uniquifier within this process
+}
+
+func newDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+func (t *diskTier) path(k Key) string {
+	hx := k.Hex()
+	return filepath.Join(t.dir, hx[:2], hx+".memo")
+}
+
+// read returns the validated payload. ok=false means miss; corrupt=true
+// additionally reports that a file existed but failed validation (short,
+// bad magic, length mismatch, CRC mismatch) — still just a miss to the
+// caller's result path, but counted separately so operators can see a
+// damaged cache dir.
+func (t *diskTier) read(k Key) (payload []byte, ok, corrupt bool) {
+	b, err := os.ReadFile(t.path(k))
+	if err != nil {
+		return nil, false, false
+	}
+	if len(b) < diskHeaderLen || string(b[:len(diskMagic)]) != diskMagic {
+		return nil, false, true
+	}
+	n := binary.LittleEndian.Uint32(b[8:12])
+	sum := binary.LittleEndian.Uint32(b[12:16])
+	payload = b[diskHeaderLen:]
+	if uint64(n) != uint64(len(payload)) {
+		return nil, false, true
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, false, true
+	}
+	return payload, true, false
+}
+
+// write persists an entry atomically: an O_EXCL temp file unique to this
+// (process, sequence) is written and fsync-free renamed over the final
+// name. Concurrent writers — other goroutines, other processes sharing the
+// dir — each write their own temp; renames are atomic, last one wins, and
+// both wrote identical content anyway (same key ⇒ same bytes). Returns
+// false on any failure; the cache degrades to memory-only for that entry.
+func (t *diskTier) write(k Key, payload []byte) bool {
+	final := t.path(k)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return false
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", final, os.Getpid(), t.seq.Add(1))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return false
+	}
+	var hdr [diskHeaderLen]byte
+	copy(hdr[:], diskMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	_, werr := f.Write(hdr[:])
+	if werr == nil {
+		_, werr = f.Write(payload)
+	}
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp)
+		return false
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package nmpc
+
+import (
+	"fmt"
+
+	"socrm/internal/gpu"
+	"socrm/internal/memo"
+	"socrm/internal/regtree"
+	"socrm/internal/snap"
+)
+
+// explicitFitVersion tags cached explicit-NMPC fits. Bump on any change to
+// model warmup, the solver, the sampling grid or the tree parameters.
+const explicitFitVersion = "nmpc-explicit-fit-v1"
+
+// FitExplicitCached runs the full offline phase — warm fresh sensitivity
+// models, sample the NMPC optimizer, fit the control surfaces — memoized
+// through cache when non-nil, keyed by the device's full content and the
+// frame budget. The result carries only the fitted surfaces (Models is
+// nil) whether it came from cache or compute, so both paths are
+// indistinguishable: callers use it as the read-only surface reference
+// that Fig5 and the cadence ablation clone per-trace controllers from.
+// Callers that need a steppable controller (Next) attach their own warmed
+// models.
+func FitExplicitCached(dev *gpu.Device, budget float64, cache *memo.Cache) (*Explicit, error) {
+	fit := func() (any, error) {
+		models := NewGPUModels(dev)
+		models.Warmup(budget)
+		ex, err := FitExplicit(dev, models, budget)
+		if err != nil {
+			return nil, err
+		}
+		ex.Models = nil
+		return ex, nil
+	}
+	if cache == nil {
+		v, err := fit()
+		if err != nil {
+			return nil, err
+		}
+		return v.(*Explicit), nil
+	}
+	h := memo.NewHasher()
+	h.String(explicitFitVersion)
+	dev.HashContent(&h)
+	h.F64(budget)
+	v, err := cache.Do(h.Sum(), explicitCodec{dev: dev}, fit)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Explicit), nil
+}
+
+// explicitCodec round-trips the fitted surfaces. The device is bound at
+// decode time from the codec (it is part of the cache key, so the decoded
+// fit can only ever be paired with a content-identical device).
+type explicitCodec struct {
+	dev *gpu.Device
+}
+
+func (explicitCodec) Encode(e *snap.Encoder, v any) {
+	ex := v.(*Explicit)
+	ex.FreqSurf.EncodeTo(e)
+	ex.SliceSurf.EncodeTo(e)
+	e.Int(ex.SlowPeriod)
+	e.F64(ex.Margin)
+}
+
+func (c explicitCodec) Decode(d *snap.Decoder) (any, error) {
+	fs, err := regtree.DecodeTree(d)
+	if err != nil {
+		return nil, fmt.Errorf("nmpc: freq surface: %w", err)
+	}
+	ss, err := regtree.DecodeTree(d)
+	if err != nil {
+		return nil, fmt.Errorf("nmpc: slice surface: %w", err)
+	}
+	ex := &Explicit{
+		Dev:        c.dev,
+		FreqSurf:   fs,
+		SliceSurf:  ss,
+		SlowPeriod: d.Int(),
+		Margin:     d.F64(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}

@@ -1,0 +1,37 @@
+package soc
+
+import "socrm/internal/memo"
+
+// HashContent folds every parameter that can change an Execute result into
+// the hasher — the full OPP tables and all calibrated coefficients plus the
+// runtime temperature. Two Platforms that hash equal produce bit-identical
+// results for every (snippet, config), which is the contract the memoized
+// Oracle relies on.
+func (p *Platform) HashContent(h *memo.Hasher) {
+	h.Int(len(p.LittleOPPs))
+	for _, o := range p.LittleOPPs {
+		h.F64(o.FreqMHz)
+		h.F64(o.Volt)
+	}
+	h.Int(len(p.BigOPPs))
+	for _, o := range p.BigOPPs {
+		h.F64(o.FreqMHz)
+		h.F64(o.Volt)
+	}
+	h.F64(p.LittleCPIFactor)
+	h.F64(p.MemLatencyNS)
+	h.F64(p.BrPenaltyBig)
+	h.F64(p.BrPenaltyLittle)
+	h.F64(p.StallPowerFactor)
+	h.F64(p.CeffBigNF)
+	h.F64(p.CeffLittleNF)
+	h.F64(p.IdleCoreFrac)
+	h.F64(p.LeakBigWV2)
+	h.F64(p.LeakLittleWV2)
+	h.F64(p.BaseLeakW)
+	h.F64(p.LeakTempCoeff)
+	h.F64(p.TempRef)
+	h.F64(p.MemBWWattPerGB)
+	h.F64(p.CacheLineB)
+	h.F64(p.Temp)
+}

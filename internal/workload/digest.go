@@ -1,0 +1,25 @@
+package workload
+
+import "socrm/internal/memo"
+
+// HashContent folds the snippet's full characteristic vector.
+func (s Snippet) HashContent(h *memo.Hasher) {
+	h.F64(s.Instructions)
+	h.F64(s.MemIntensity)
+	h.F64(s.L2MissRate)
+	h.F64(s.BranchMPKI)
+	h.F64(s.BaseCPI)
+	h.F64(s.ILPBigBoost)
+	h.Int(s.Threads)
+}
+
+// HashContent folds the application's snippet trace. The name and suite are
+// deliberately excluded: the cache is content-addressed, so two differently
+// named apps with identical traces share labels, and renaming an app cannot
+// stale-hit old content.
+func (a Application) HashContent(h *memo.Hasher) {
+	h.Int(len(a.Snippets))
+	for _, s := range a.Snippets {
+		s.HashContent(h)
+	}
+}

@@ -1,0 +1,29 @@
+package workload
+
+// Scaled-suite generation for the memoization stress mode: the same sixteen
+// applications with `factor` times the snippet count. Because each app's
+// AR(1) phase stream is drawn sequentially from one seeded rng, a scaled
+// app's first len(paper) snippets are bit-identical to the paper's app —
+// scaling extends the traces, it does not reshuffle them.
+
+func scaleSpecs(specs []appSpec, factor int) []appSpec {
+	if factor <= 1 {
+		return specs
+	}
+	out := make([]appSpec, len(specs))
+	for i, sp := range specs {
+		sp.snippets *= factor
+		out[i] = sp
+	}
+	return out
+}
+
+// AllAppsScaled returns all sixteen applications with factor-times the
+// paper's snippet counts (factor <= 1 is the stock suites).
+func AllAppsScaled(seed int64, factor int) []Application {
+	var out []Application
+	out = append(out, genSuite(scaleSpecs(mibenchSpecs, factor), seed)...)
+	out = append(out, genSuite(scaleSpecs(cortexSpecs, factor), seed)...)
+	out = append(out, genSuite(scaleSpecs(parsecSpecs, factor), seed)...)
+	return out
+}
